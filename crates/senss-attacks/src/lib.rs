@@ -1,0 +1,29 @@
+//! Bus adversaries for the SENSS reproduction (§3).
+//!
+//! The paper motivates SENSS with three classes of shared-bus attacks —
+//! message **dropping** (Type 1), **reordering** (Type 2) and **spoofing /
+//! replay** (Type 3) — plus the §3.1 *pad-reuse* confidentiality break
+//! that rules out reusing memory-encryption pads for cache-to-cache
+//! traffic. This crate implements each attack against the functional
+//! [`senss::fabric::GroupFabric`] and reports whether the SENSS chained
+//! authentication catches it (it must), and whether the non-chained
+//! per-message baseline of Shi et al. would (for Types 1 and 3, it
+//! cannot).
+//!
+//! # Example
+//!
+//! ```
+//! use senss_attacks::scenarios;
+//!
+//! let report = scenarios::type1_split_drop();
+//! assert!(report.detected_by_senss);
+//! assert!(!report.detected_by_baseline);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod pad_reuse;
+pub mod scenarios;
+
+pub use scenarios::AttackReport;

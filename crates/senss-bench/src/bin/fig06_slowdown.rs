@@ -1,0 +1,45 @@
+//! Figure 6: performance slowdown of SENSS bus security alone.
+//!
+//! The paper's setup: write-invalidate MESI, write-back L2 of 1 MB and
+//! 4 MB, 2 and 4 processors, authentication every 100 cache-to-cache
+//! transactions, bus security only (no cache-to-memory protection).
+//! Reported shape: all slowdowns well under 1% (max 0.18%), generally
+//! growing with the number of cache-to-cache transfers (more processors /
+//! larger L2 ⇒ relatively more c2c).
+
+use senss::secure_bus::SenssConfig;
+use senss_bench::{format_table, maybe_write_csv, ops_per_core, overhead, seed, workload_columns, Point};
+
+fn main() {
+    let ops = ops_per_core();
+    let seed = seed();
+    println!("=== Figure 6: percentage slowdown (SENSS, auth interval 100) ===");
+    println!("ops/core = {ops}, seed = {seed}\n");
+
+    for &l2 in &[1usize << 20, 4 << 20] {
+        let mut rows = Vec::new();
+        for &cores in &[2usize, 4] {
+            let mut values = Vec::new();
+            for w in workload_columns() {
+                let p = Point::new(w, cores, l2);
+                let base = p.run_baseline(ops, seed);
+                let cfg = SenssConfig::paper_default(cores);
+                let sec = p.run_senss(ops, seed, cfg);
+                values.push(overhead(&sec, &base).slowdown_pct);
+            }
+            rows.push((format!("{cores}P"), values));
+        }
+        maybe_write_csv(&format!("fig06_l2_{}mb" , l2 >> 20), &rows);
+        println!(
+            "{}",
+            format_table(
+                &format!(
+                    "Write-Invalidate + {}M write-back L2: % slowdown",
+                    l2 >> 20
+                ),
+                &rows
+            )
+        );
+    }
+    println!("Paper shape: all values < 0.2%; larger L2 and more processors trend higher.");
+}

@@ -1,0 +1,47 @@
+//! Figure 7: impact of the number of encryption masks.
+//!
+//! 4 processors, 4 MB L2, auth interval 100. The paper finds 2 masks
+//! generally satisfactory and 4 masks indistinguishable from a perfect
+//! (unbounded) supply; a single mask pays mask-regeneration stalls on
+//! back-to-back transfers.
+
+use senss::mask::PERFECT_MASKS;
+use senss::secure_bus::SenssConfig;
+use senss_bench::{format_table, maybe_write_csv, ops_per_core, overhead, seed, workload_columns, Point};
+
+fn main() {
+    let ops = ops_per_core();
+    let seed = seed();
+    println!("=== Figure 7: mask-count sensitivity (4P, 4MB L2, interval 100) ===");
+    println!("ops/core = {ops}, seed = {seed}\n");
+
+    let variants: &[(&str, usize)] = &[
+        ("Perfect", PERFECT_MASKS),
+        ("4 masks", 4),
+        ("2 masks", 2),
+        ("1 mask", 1),
+    ];
+
+    let mut slow_rows = Vec::new();
+    let mut traffic_rows = Vec::new();
+    for (label, masks) in variants {
+        let mut slow = Vec::new();
+        let mut traffic = Vec::new();
+        for w in workload_columns() {
+            let p = Point::new(w, 4, 4 << 20);
+            let base = p.run_baseline(ops, seed);
+            let cfg = SenssConfig::paper_default(4).with_masks(*masks);
+            let sec = p.run_senss(ops, seed, cfg);
+            let o = overhead(&sec, &base);
+            slow.push(o.slowdown_pct);
+            traffic.push(o.traffic_pct);
+        }
+        slow_rows.push((label.to_string(), slow));
+        traffic_rows.push((label.to_string(), traffic));
+    }
+    maybe_write_csv("fig07_slowdown", &slow_rows);
+    maybe_write_csv("fig07_traffic", &traffic_rows);
+    println!("{}", format_table("% slowdown", &slow_rows));
+    println!("{}", format_table("% bus activity increase", &traffic_rows));
+    println!("Paper shape: 4 masks ≈ perfect; 2 masks close; 1 mask visibly worse.");
+}

@@ -1,0 +1,41 @@
+//! §7.1 hardware-overhead table: SHU storage and extra bus lines.
+//!
+//! Regenerates the paper's accounting: the group-processor bit matrix
+//! (640 B), the group information table (1161 bits/entry ⇒ ≈148.6 KB for
+//! 1024 entries), and the 11-extra-bus-lines (+3.1%) augmentation of the
+//! Gigaplane-class bus. Also prints the Figure 5 parameter table.
+
+use senss::secure_bus::SenssExtension;
+use senss::shu::{BitMatrix, GroupInfoTable};
+use senss_sim::SystemConfig;
+
+fn main() {
+    println!("=== SENSS §7.1 hardware overhead ===\n");
+
+    let matrix_bits = BitMatrix::storage_bits();
+    println!(
+        "Group-processor bit matrix : 1024 entries x 5 bits = {} bytes",
+        matrix_bits / 8
+    );
+
+    let table = GroupInfoTable::new(8);
+    let entry_bits = table.storage_bits() / 1024;
+    println!(
+        "Group information table    : {} bits/entry (1 occupied + 128 key + 8 ctr + 8x128 masks)",
+        entry_bits
+    );
+    println!(
+        "                             {:.1} KB for 1024 entries",
+        table.storage_bits() as f64 / 8.0 / 1000.0
+    );
+
+    let (base, extra, pct) = SenssExtension::extra_bus_lines();
+    println!(
+        "Bus lines                  : {base} (Gigaplane) + {extra} (2 msg-type + 10 GID) = +{pct:.1}%"
+    );
+
+    println!("\n=== Figure 5: architectural parameters ===\n");
+    println!("{}", SystemConfig::e6000(4, 4 << 20).figure5_table());
+
+    println!("Paper reference: matrix 640 bytes; table 1161 bits/entry, 148.6 KB; +3.1% bus lines.");
+}

@@ -1,0 +1,232 @@
+//! The 128-bit cipher block used throughout the crate.
+//!
+//! SENSS encrypts the shared bus in units of one AES block: a 32-byte bus
+//! line is two blocks, a MAC is the (possibly truncated) prefix of one block.
+//! [`Block`] is a thin newtype over `[u8; 16]` providing the XOR operations
+//! the one-time-pad scheme is built on.
+
+use std::fmt;
+use std::ops::{BitXor, BitXorAssign};
+
+/// Size of a cipher block in bytes (AES has a fixed 128-bit block).
+pub const BLOCK_SIZE: usize = 16;
+
+/// A 128-bit cipher block.
+///
+/// # Example
+///
+/// ```
+/// use senss_crypto::Block;
+/// let data = Block::from([1u8; 16]);
+/// let pad = Block::from([3u8; 16]);
+/// // One-time-pad encryption and decryption are both a single XOR.
+/// assert_eq!((data ^ pad) ^ pad, data);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Block(pub [u8; BLOCK_SIZE]);
+
+impl Block {
+    /// The all-zero block (the conventional CBC-MAC initial vector).
+    pub const ZERO: Block = Block([0; BLOCK_SIZE]);
+
+    /// Creates a block from a byte slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly 16 bytes long.
+    pub fn from_slice(bytes: &[u8]) -> Block {
+        let mut b = [0u8; BLOCK_SIZE];
+        b.copy_from_slice(bytes);
+        Block(b)
+    }
+
+    /// Builds a block from two little-endian 64-bit words.
+    ///
+    /// This is how the SENSS Security Hardware Unit assembles AES inputs from
+    /// `(PID, data)` tuples and from `(address, sequence-number)` pairs for
+    /// memory pads.
+    pub fn from_words(lo: u64, hi: u64) -> Block {
+        let mut b = [0u8; BLOCK_SIZE];
+        b[..8].copy_from_slice(&lo.to_le_bytes());
+        b[8..].copy_from_slice(&hi.to_le_bytes());
+        Block(b)
+    }
+
+    /// Splits the block back into two little-endian 64-bit words `(lo, hi)`.
+    pub fn to_words(self) -> (u64, u64) {
+        let lo = u64::from_le_bytes(self.0[..8].try_into().expect("8 bytes"));
+        let hi = u64::from_le_bytes(self.0[8..].try_into().expect("8 bytes"));
+        (lo, hi)
+    }
+
+    /// Returns the underlying bytes.
+    pub fn as_bytes(&self) -> &[u8; BLOCK_SIZE] {
+        &self.0
+    }
+
+    /// Consumes the block, returning the underlying bytes.
+    pub fn into_bytes(self) -> [u8; BLOCK_SIZE] {
+        self.0
+    }
+
+    /// Returns the `m`-bit prefix of the block as a MAC value, per the
+    /// paper's Equation (1) (`1 <= m <= 128`), packed into a block whose
+    /// remaining bits are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero or greater than 128.
+    pub fn prefix_bits(self, m: usize) -> Block {
+        assert!(m >= 1 && m <= 128, "MAC width must be in 1..=128 bits");
+        let mut out = [0u8; BLOCK_SIZE];
+        let full = m / 8;
+        out[..full].copy_from_slice(&self.0[..full]);
+        let rem = m % 8;
+        if rem != 0 {
+            let mask = 0xffu8 << (8 - rem);
+            out[full] = self.0[full] & mask;
+        }
+        Block(out)
+    }
+}
+
+impl From<[u8; BLOCK_SIZE]> for Block {
+    fn from(bytes: [u8; BLOCK_SIZE]) -> Block {
+        Block(bytes)
+    }
+}
+
+impl From<Block> for [u8; BLOCK_SIZE] {
+    fn from(b: Block) -> [u8; BLOCK_SIZE] {
+        b.0
+    }
+}
+
+impl AsRef<[u8]> for Block {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl BitXor for Block {
+    type Output = Block;
+
+    fn bitxor(self, rhs: Block) -> Block {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+            *o ^= r;
+        }
+        Block(out)
+    }
+}
+
+impl BitXorAssign for Block {
+    fn bitxor_assign(&mut self, rhs: Block) {
+        for (o, r) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *o ^= r;
+        }
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block(")?;
+        for byte in &self.0 {
+            write!(f, "{byte:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for byte in &self.0 {
+            write!(f, "{byte:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::LowerHex for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for byte in &self.0 {
+            write!(f, "{byte:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_roundtrip() {
+        let a = Block::from([0xAA; 16]);
+        let b = Block::from([0x55; 16]);
+        assert_eq!(a ^ b, Block::from([0xFF; 16]));
+        assert_eq!((a ^ b) ^ b, a);
+    }
+
+    #[test]
+    fn xor_assign_matches_xor() {
+        let a = Block::from([0x12; 16]);
+        let b = Block::from([0x34; 16]);
+        let mut c = a;
+        c ^= b;
+        assert_eq!(c, a ^ b);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let b = Block::from_words(0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210);
+        assert_eq!(b.to_words(), (0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210));
+    }
+
+    #[test]
+    fn prefix_full_width_is_identity() {
+        let b = Block::from([0xC3; 16]);
+        assert_eq!(b.prefix_bits(128), b);
+    }
+
+    #[test]
+    fn prefix_truncates_bytes() {
+        let b = Block::from([0xFF; 16]);
+        let p = b.prefix_bits(64);
+        assert_eq!(&p.0[..8], &[0xFF; 8]);
+        assert_eq!(&p.0[8..], &[0x00; 8]);
+    }
+
+    #[test]
+    fn prefix_truncates_partial_byte() {
+        let b = Block::from([0xFF; 16]);
+        let p = b.prefix_bits(12);
+        assert_eq!(p.0[0], 0xFF);
+        assert_eq!(p.0[1], 0xF0);
+        assert_eq!(&p.0[2..], &[0x00; 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAC width")]
+    fn prefix_rejects_zero() {
+        Block::ZERO.prefix_bits(0);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let b = Block::from_words(1, 0);
+        assert_eq!(format!("{b}"), "01000000000000000000000000000000");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Block::ZERO).is_empty());
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let bytes: Vec<u8> = (0u8..16).collect();
+        let b = Block::from_slice(&bytes);
+        assert_eq!(b.as_bytes().as_slice(), bytes.as_slice());
+    }
+}

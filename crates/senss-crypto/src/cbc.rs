@@ -1,0 +1,262 @@
+//! Cipher Block Chaining (CBC) mode and the SENSS *bus variant* of it.
+//!
+//! The paper's Table 1 contrasts two ways to chain AES over a stream of bus
+//! blocks `D1, D2, …`:
+//!
+//! * **Classic CBC** sends the cipher `Cᵢ = AES(Dᵢ ⊕ Cᵢ₋₁)` on the bus. The
+//!   sender cannot emit `Cᵢ` until the AES (≈80 cycles) finishes, putting the
+//!   full cipher latency on the critical path of every transfer.
+//! * **SENSS bus encryption** sends `Pᵢ = Dᵢ ⊕ Cᵢ₋₁` — a single XOR with the
+//!   previous *mask* `Cᵢ₋₁` — and updates the mask `Cᵢ = AES(Pᵢ)` in the
+//!   background. Receivers recover `Dᵢ = Pᵢ ⊕ Cᵢ₋₁` with one XOR and run the
+//!   same background update, keeping every group member's mask synchronized.
+//!
+//! [`CbcEncryptor`]/[`CbcDecryptor`] implement the classic mode (used as the
+//! latency baseline and by the MAC); [`BusChain`] implements the SENSS
+//! variant, which is what [`senss`]'s mask machinery builds on.
+//!
+//! [`senss`]: https://docs.rs/senss
+
+use crate::aes::Aes;
+use crate::block::Block;
+use crate::CryptoError;
+
+/// Classic CBC encryption over a block stream.
+///
+/// # Example
+///
+/// ```
+/// use senss_crypto::aes::Aes;
+/// use senss_crypto::cbc::{CbcDecryptor, CbcEncryptor};
+/// use senss_crypto::Block;
+///
+/// let aes = Aes::new_128(&[1u8; 16]);
+/// let iv = Block::from([9u8; 16]);
+/// let mut enc = CbcEncryptor::new(aes.clone(), iv);
+/// let mut dec = CbcDecryptor::new(aes, iv);
+/// let data = Block::from([7u8; 16]);
+/// assert_eq!(dec.decrypt_block(enc.encrypt_block(data)), data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CbcEncryptor {
+    aes: Aes,
+    prev: Block,
+}
+
+impl CbcEncryptor {
+    /// Creates an encryptor chained from the initial vector `iv`.
+    pub fn new(aes: Aes, iv: Block) -> CbcEncryptor {
+        CbcEncryptor { aes, prev: iv }
+    }
+
+    /// Encrypts one block, advancing the chain.
+    pub fn encrypt_block(&mut self, data: Block) -> Block {
+        let cipher = self.aes.encrypt_block(data ^ self.prev);
+        self.prev = cipher;
+        cipher
+    }
+
+    /// Encrypts a whole byte message (length must be a multiple of 16).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadLength`] for non-block-multiple inputs.
+    pub fn encrypt(&mut self, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if data.len() % 16 != 0 {
+            return Err(CryptoError::BadLength { len: data.len() });
+        }
+        let mut out = Vec::with_capacity(data.len());
+        for chunk in data.chunks_exact(16) {
+            out.extend_from_slice(self.encrypt_block(Block::from_slice(chunk)).as_bytes());
+        }
+        Ok(out)
+    }
+}
+
+/// Classic CBC decryption over a block stream.
+#[derive(Debug, Clone)]
+pub struct CbcDecryptor {
+    aes: Aes,
+    prev: Block,
+}
+
+impl CbcDecryptor {
+    /// Creates a decryptor chained from the initial vector `iv`.
+    pub fn new(aes: Aes, iv: Block) -> CbcDecryptor {
+        CbcDecryptor { aes, prev: iv }
+    }
+
+    /// Decrypts one block, advancing the chain.
+    pub fn decrypt_block(&mut self, cipher: Block) -> Block {
+        let data = self.aes.decrypt_block(cipher) ^ self.prev;
+        self.prev = cipher;
+        data
+    }
+
+    /// Decrypts a whole byte message (length must be a multiple of 16).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadLength`] for non-block-multiple inputs.
+    pub fn decrypt(&mut self, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if data.len() % 16 != 0 {
+            return Err(CryptoError::BadLength { len: data.len() });
+        }
+        let mut out = Vec::with_capacity(data.len());
+        for chunk in data.chunks_exact(16) {
+            out.extend_from_slice(self.decrypt_block(Block::from_slice(chunk)).as_bytes());
+        }
+        Ok(out)
+    }
+}
+
+/// The SENSS bus-encryption chain (Table 1, right column; Figure 2).
+///
+/// One instance exists per *direction-independent* chain; sender and all
+/// receivers in a group hold identical copies that stay in lock-step because
+/// every member observes every bus message (the snooping-bus property SENSS
+/// exploits).
+///
+/// The value placed on the bus is `P = D ⊕ mask`, computable one cycle after
+/// `D` is ready. The mask update `mask' = AES(P)` happens off the critical
+/// path — its *timing* is modelled by [`crate::engine::AesUnit`] in the
+/// simulator; here we compute the value.
+#[derive(Debug, Clone)]
+pub struct BusChain {
+    aes: Aes,
+    mask: Block,
+}
+
+impl BusChain {
+    /// Creates a chain seeded with the group's initial vector `c0`
+    /// (broadcast by the designated group member at initialization, §4.2).
+    pub fn new(aes: Aes, c0: Block) -> BusChain {
+        BusChain { aes, mask: c0 }
+    }
+
+    /// The current mask (exposed for the mask-array machinery and tests).
+    pub fn mask(&self) -> Block {
+        self.mask
+    }
+
+    /// Sender side: encrypts `data`, returning the value `P` to put on the
+    /// bus, and advances the mask.
+    pub fn encrypt(&mut self, data: Block) -> Block {
+        let p = data ^ self.mask;
+        self.mask = self.aes.encrypt_block(p);
+        p
+    }
+
+    /// Receiver side: decrypts a bus value `P` back to the data block and
+    /// advances the mask identically to the sender.
+    pub fn decrypt(&mut self, p: Block) -> Block {
+        let data = p ^ self.mask;
+        self.mask = self.aes.encrypt_block(p);
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aes() -> Aes {
+        Aes::new_128(&[0x42; 16])
+    }
+
+    #[test]
+    fn cbc_roundtrip_multi_block() {
+        let iv = Block::from([3; 16]);
+        let mut enc = CbcEncryptor::new(aes(), iv);
+        let mut dec = CbcDecryptor::new(aes(), iv);
+        let msg: Vec<u8> = (0u8..64).collect();
+        let ct = enc.encrypt(&msg).unwrap();
+        assert_ne!(ct, msg);
+        assert_eq!(dec.decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn cbc_rejects_partial_blocks() {
+        let mut enc = CbcEncryptor::new(aes(), Block::ZERO);
+        assert_eq!(
+            enc.encrypt(&[0u8; 17]),
+            Err(CryptoError::BadLength { len: 17 })
+        );
+        let mut dec = CbcDecryptor::new(aes(), Block::ZERO);
+        assert_eq!(
+            dec.decrypt(&[0u8; 31]),
+            Err(CryptoError::BadLength { len: 31 })
+        );
+    }
+
+    #[test]
+    fn cbc_identical_plaintext_blocks_differ() {
+        // The chaining property: repeated plaintext must not produce
+        // repeated ciphertext.
+        let mut enc = CbcEncryptor::new(aes(), Block::ZERO);
+        let d = Block::from([0x11; 16]);
+        let c1 = enc.encrypt_block(d);
+        let c2 = enc.encrypt_block(d);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn bus_chain_sender_receiver_stay_synchronized() {
+        let c0 = Block::from([0xAB; 16]);
+        let mut sender = BusChain::new(aes(), c0);
+        let mut receiver = BusChain::new(aes(), c0);
+        for i in 0..32u8 {
+            let data = Block::from([i; 16]);
+            let p = sender.encrypt(data);
+            assert_eq!(receiver.decrypt(p), data, "message {i}");
+            assert_eq!(sender.mask(), receiver.mask(), "masks diverged at {i}");
+        }
+    }
+
+    #[test]
+    fn bus_chain_repeated_data_gives_distinct_bus_values() {
+        // §4.2: for the same data transferred at different times, different
+        // ciphertext appears on the bus.
+        let mut chain = BusChain::new(aes(), Block::from([1; 16]));
+        let d = Block::from([0x77; 16]);
+        let p1 = chain.encrypt(d);
+        let p2 = chain.encrypt(d);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn bus_value_is_one_xor_from_data() {
+        // The latency claim: P differs from D exactly by the pre-transfer
+        // mask, so producing it is a single XOR.
+        let c0 = Block::from([0xCD; 16]);
+        let mut chain = BusChain::new(aes(), c0);
+        let d = Block::from([0x3C; 16]);
+        let p = chain.encrypt(d);
+        assert_eq!(p, d ^ c0);
+    }
+
+    #[test]
+    fn bus_chain_and_cbc_masks_agree() {
+        // The bus variant is algebraically the same chain: mask_i equals the
+        // classic CBC cipher C_i when the IV matches.
+        let iv = Block::from([0x5A; 16]);
+        let mut cbc = CbcEncryptor::new(aes(), iv);
+        let mut bus = BusChain::new(aes(), iv);
+        for i in 0..8u8 {
+            let d = Block::from([i.wrapping_mul(37); 16]);
+            let c = cbc.encrypt_block(d);
+            bus.encrypt(d);
+            assert_eq!(bus.mask(), c);
+        }
+    }
+
+    #[test]
+    fn different_iv_different_trace() {
+        // §4.2 Initialization: each invocation must use a fresh C0 so mask
+        // traces differ between runs.
+        let mut a = BusChain::new(aes(), Block::from([1; 16]));
+        let mut b = BusChain::new(aes(), Block::from([2; 16]));
+        let d = Block::from([0xEE; 16]);
+        assert_ne!(a.encrypt(d), b.encrypt(d));
+    }
+}

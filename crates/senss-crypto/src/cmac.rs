@@ -1,0 +1,161 @@
+//! AES-CMAC (OMAC1, NIST SP 800-38B / RFC 4493).
+//!
+//! The paper's Equation (1) is the classic CBC-MAC, which is only secure
+//! for *fixed-length* message streams — exactly SENSS's setting (every
+//! bus beat is one block and the chain never terminates). For
+//! variable-length uses (sealing swapped-out contexts, authenticating
+//! dispatched program images) CBC-MAC is forgeable, and the standard fix
+//! is CMAC's tweaked last block. This module provides it, validated
+//! against the RFC 4493 test vectors, so downstream users are not tempted
+//! to misuse [`crate::mac::ChainedMac`] on byte strings.
+
+use crate::aes::Aes;
+use crate::block::Block;
+
+/// Doubles an element of GF(2¹²⁸) under the CMAC convention
+/// (left shift, conditionally XOR the Rb = 0x87 constant).
+fn dbl(b: Block) -> Block {
+    let v = u128::from_be_bytes(b.into_bytes());
+    let mut out = v << 1;
+    if v >> 127 == 1 {
+        out ^= 0x87;
+    }
+    Block::from(out.to_be_bytes())
+}
+
+/// An AES-CMAC instance with derived subkeys.
+///
+/// # Example
+///
+/// ```
+/// use senss_crypto::aes::Aes;
+/// use senss_crypto::cmac::Cmac;
+///
+/// let cmac = Cmac::new(Aes::new_128(&[0u8; 16]));
+/// let tag = cmac.tag(b"any length at all");
+/// assert!(cmac.verify(b"any length at all", tag));
+/// assert!(!cmac.verify(b"any length at al!", tag));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cmac {
+    aes: Aes,
+    k1: Block,
+    k2: Block,
+}
+
+impl Cmac {
+    /// Derives the CMAC subkeys from the cipher.
+    pub fn new(aes: Aes) -> Cmac {
+        let l = aes.encrypt_block(Block::ZERO);
+        let k1 = dbl(l);
+        let k2 = dbl(k1);
+        Cmac { aes, k1, k2 }
+    }
+
+    /// Computes the 128-bit tag of a message of any length.
+    pub fn tag(&self, msg: &[u8]) -> Block {
+        let n_blocks = msg.len().div_ceil(16).max(1);
+        let mut state = Block::ZERO;
+        for i in 0..n_blocks - 1 {
+            let blk = Block::from_slice(&msg[16 * i..16 * i + 16]);
+            state = self.aes.encrypt_block(state ^ blk);
+        }
+        let rest = &msg[16 * (n_blocks - 1)..];
+        let last = if rest.len() == 16 {
+            Block::from_slice(rest) ^ self.k1
+        } else {
+            let mut padded = [0u8; 16];
+            padded[..rest.len()].copy_from_slice(rest);
+            padded[rest.len()] = 0x80;
+            Block::from(padded) ^ self.k2
+        };
+        self.aes.encrypt_block(state ^ last)
+    }
+
+    /// Verifies a tag.
+    pub fn verify(&self, msg: &[u8], tag: Block) -> bool {
+        self.tag(msg) == tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn cmac() -> Cmac {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        Cmac::new(Aes::new_128(&key))
+    }
+
+    const M64: &str = "6bc1bee22e409f96e93d7e117393172a\
+                       ae2d8a571e03ac9c9eb76fac45af8e51\
+                       30c81c46a35ce411e5fbc1191a0a52ef\
+                       f69f2445df4f9b17ad2b417be66c3710";
+
+    #[test]
+    fn rfc4493_example_1_empty() {
+        assert_eq!(
+            cmac().tag(b""),
+            Block::from_slice(&hex("bb1d6929e95937287fa37d129b756746"))
+        );
+    }
+
+    #[test]
+    fn rfc4493_example_2_one_block() {
+        assert_eq!(
+            cmac().tag(&hex(&M64[..32].replace(' ', ""))[..16]),
+            Block::from_slice(&hex("070a16b46b4d4144f79bdd9dd04a287c"))
+        );
+    }
+
+    #[test]
+    fn rfc4493_example_3_40_bytes() {
+        let m = hex(&M64.replace(' ', ""));
+        assert_eq!(
+            cmac().tag(&m[..40]),
+            Block::from_slice(&hex("dfa66747de9ae63030ca32611497c827"))
+        );
+    }
+
+    #[test]
+    fn rfc4493_example_4_64_bytes() {
+        let m = hex(&M64.replace(' ', ""));
+        assert_eq!(
+            cmac().tag(&m),
+            Block::from_slice(&hex("51f0bebf7e3b9d92fc49741779363cfe"))
+        );
+    }
+
+    #[test]
+    fn verify_and_reject() {
+        let c = cmac();
+        let t = c.tag(b"hello");
+        assert!(c.verify(b"hello", t));
+        assert!(!c.verify(b"hellp", t));
+        assert!(!c.verify(b"hello ", t));
+    }
+
+    #[test]
+    fn length_extension_does_not_collide() {
+        // The classic CBC-MAC forgery shape: tag(m) and tag(m || pad)
+        // must be unrelated under CMAC.
+        let c = cmac();
+        let m = [0u8; 16];
+        let mut extended = m.to_vec();
+        extended.extend_from_slice(c.tag(&m).as_bytes());
+        assert_ne!(c.tag(&m), c.tag(&extended));
+    }
+
+    #[test]
+    fn distinct_lengths_distinct_tags() {
+        let c = cmac();
+        assert_ne!(c.tag(&[0u8; 15]), c.tag(&[0u8; 16]));
+    }
+}

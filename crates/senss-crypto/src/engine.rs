@@ -1,0 +1,156 @@
+//! Timing model of the pipelined hardware AES unit (§4.4, §7.1).
+//!
+//! The paper models an AES implementation with an **80-cycle latency** at
+//! 1 GHz whose **throughput matches the peak bus bandwidth** (3.2 GB/s) via
+//! pipelining. The number of masks a group needs is
+//! `masks = ceil(AES latency / bus cycle time)` — 8 for the modelled machine
+//! (80-cycle AES, 10-cycle bus cycle).
+//!
+//! [`AesUnit`] answers the one question the simulator asks: *if I hand the
+//! unit a block at cycle `t`, when does the result come back?* — respecting
+//! both the pipeline initiation interval (throughput) and the latency.
+
+/// Pipelined crypto-unit timing model.
+///
+/// # Example
+///
+/// ```
+/// use senss_crypto::engine::AesUnit;
+/// // The paper's unit: 80-cycle latency, one block per bus cycle (10 CPU cycles).
+/// let mut unit = AesUnit::new(80, 10);
+/// assert_eq!(unit.issue(0), 80);
+/// // Second issue at the same cycle waits one initiation interval.
+/// assert_eq!(unit.issue(0), 90);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AesUnit {
+    latency: u64,
+    initiation_interval: u64,
+    next_issue_slot: u64,
+    issued: u64,
+}
+
+impl AesUnit {
+    /// Creates a unit with the given `latency` (cycles from issue to result)
+    /// and `initiation_interval` (cycles between successive issues — the
+    /// inverse of throughput).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initiation_interval` is zero.
+    pub fn new(latency: u64, initiation_interval: u64) -> AesUnit {
+        assert!(initiation_interval > 0, "initiation interval must be > 0");
+        AesUnit {
+            latency,
+            initiation_interval,
+            next_issue_slot: 0,
+            issued: 0,
+        }
+    }
+
+    /// The paper's configuration: 80-cycle latency, one block per 10-cycle
+    /// bus cycle (3.2 GB/s at a 1 GHz core clock).
+    pub fn paper_default() -> AesUnit {
+        AesUnit::new(80, 10)
+    }
+
+    /// Issues one block-encryption at cycle `now`; returns the cycle at
+    /// which the result is available.
+    pub fn issue(&mut self, now: u64) -> u64 {
+        let start = now.max(self.next_issue_slot);
+        self.next_issue_slot = start + self.initiation_interval;
+        self.issued += 1;
+        start + self.latency
+    }
+
+    /// The unit's block latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// The unit's initiation interval in cycles.
+    pub fn initiation_interval(&self) -> u64 {
+        self.initiation_interval
+    }
+
+    /// Total number of issues so far (for statistics).
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Resets pipeline occupancy (e.g. between simulated program runs).
+    pub fn reset(&mut self) {
+        self.next_issue_slot = 0;
+        self.issued = 0;
+    }
+
+    /// The §4.4 formula: number of masks needed to fully hide the unit's
+    /// latency behind back-to-back bus transfers with the given bus cycle
+    /// time: `ceil(latency / bus_cycle)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bus_cycle` is zero.
+    pub fn masks_needed(latency: u64, bus_cycle: u64) -> usize {
+        assert!(bus_cycle > 0, "bus cycle must be > 0");
+        latency.div_ceil(bus_cycle) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_issue_takes_latency() {
+        let mut u = AesUnit::new(80, 10);
+        assert_eq!(u.issue(100), 180);
+    }
+
+    #[test]
+    fn back_to_back_issues_respect_throughput() {
+        let mut u = AesUnit::new(80, 10);
+        // A burst of issues at cycle 0 completes 80, 90, 100, ...
+        assert_eq!(u.issue(0), 80);
+        assert_eq!(u.issue(0), 90);
+        assert_eq!(u.issue(0), 100);
+        assert_eq!(u.issued(), 3);
+    }
+
+    #[test]
+    fn idle_pipeline_recovers() {
+        let mut u = AesUnit::new(80, 10);
+        u.issue(0);
+        // Long idle gap: issue at 1000 completes at 1080, no queueing.
+        assert_eq!(u.issue(1000), 1080);
+    }
+
+    #[test]
+    fn paper_masks_needed_is_eight() {
+        // §7.4: ceil(80 / 10) = 8 masks for the modelled configuration.
+        assert_eq!(AesUnit::masks_needed(80, 10), 8);
+    }
+
+    #[test]
+    fn masks_needed_rounds_up() {
+        assert_eq!(AesUnit::masks_needed(81, 10), 9);
+        assert_eq!(AesUnit::masks_needed(80, 80), 1);
+        assert_eq!(AesUnit::masks_needed(80, 100), 1);
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let mut u = AesUnit::new(80, 10);
+        u.issue(0);
+        u.issue(0);
+        u.reset();
+        assert_eq!(u.issue(0), 80);
+        assert_eq!(u.issued(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "initiation interval")]
+    fn zero_interval_rejected() {
+        AesUnit::new(80, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! One-time-pad (OTP) *fast memory encryption* pads (§2.1, §6.1).
+//!
+//! The cache-to-memory path in SENSS reuses the uniprocessor fast-encryption
+//! scheme of Suh et al. and Yang et al.: a memory block is encrypted by
+//! XORing it with a *pad* that is a cryptographic randomization of the
+//! block's address and a per-write sequence number,
+//! `pad = AES_K(address ‖ seq)`. Because the pad depends only on metadata,
+//! it can be generated *in parallel with* the DRAM access, hiding the AES
+//! latency.
+//!
+//! The sequence number must change on every write-back of the same address —
+//! otherwise two ciphertexts of the same block XOR to the plaintext
+//! difference, the exact break the paper demonstrates for naive
+//! cache-to-cache reuse of memory pads (§3.1; reproduced in
+//! `tests/pad_reuse_break.rs`).
+
+use crate::aes::Aes;
+use crate::block::Block;
+
+/// Generates OTP pads for memory blocks.
+#[derive(Debug, Clone)]
+pub struct PadGenerator {
+    aes: Aes,
+}
+
+impl PadGenerator {
+    /// Creates a generator keyed with the program's session key.
+    pub fn new(aes: Aes) -> PadGenerator {
+        PadGenerator { aes }
+    }
+
+    /// The pad for (block `address`, write `seq`uence number), covering one
+    /// 16-byte cipher block. Wider memory lines call this once per 16-byte
+    /// sub-block via [`PadGenerator::line_pad`].
+    pub fn pad(&self, address: u64, seq: u64) -> Block {
+        self.aes.encrypt_block(Block::from_words(address, seq))
+    }
+
+    /// Pads covering a whole memory line of `line_bytes` (must be a multiple
+    /// of 16). Sub-block `i` uses `address + 16·i` so pads never repeat
+    /// within a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a positive multiple of 16.
+    pub fn line_pad(&self, address: u64, seq: u64, line_bytes: usize) -> Vec<Block> {
+        assert!(
+            line_bytes > 0 && line_bytes % 16 == 0,
+            "line size must be a positive multiple of 16 bytes"
+        );
+        (0..line_bytes / 16)
+            .map(|i| self.pad(address + 16 * i as u64, seq))
+            .collect()
+    }
+
+    /// Encrypts (or decrypts — the operation is an involution) a memory line
+    /// in place with the pad for (`address`, `seq`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a positive multiple of 16.
+    pub fn apply(&self, address: u64, seq: u64, data: &mut [u8]) {
+        let pads = self.line_pad(address, seq, data.len());
+        for (chunk, pad) in data.chunks_exact_mut(16).zip(pads) {
+            for (byte, p) in chunk.iter_mut().zip(pad.as_bytes()) {
+                *byte ^= p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> PadGenerator {
+        PadGenerator::new(Aes::new_128(&[0x77; 16]))
+    }
+
+    #[test]
+    fn apply_is_involution() {
+        let g = gen();
+        let mut line = vec![0u8; 64];
+        for (i, b) in line.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let orig = line.clone();
+        g.apply(0x1000, 3, &mut line);
+        assert_ne!(line, orig);
+        g.apply(0x1000, 3, &mut line);
+        assert_eq!(line, orig);
+    }
+
+    #[test]
+    fn pads_differ_across_addresses() {
+        let g = gen();
+        assert_ne!(g.pad(0x1000, 0), g.pad(0x1040, 0));
+    }
+
+    #[test]
+    fn pads_differ_across_sequence_numbers() {
+        // The property that defeats the §3.1 XOR attack on the memory path.
+        let g = gen();
+        assert_ne!(g.pad(0x1000, 0), g.pad(0x1000, 1));
+    }
+
+    #[test]
+    fn sub_blocks_of_a_line_use_distinct_pads() {
+        let g = gen();
+        let pads = g.line_pad(0x2000, 5, 64);
+        assert_eq!(pads.len(), 4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(pads[i], pads[j]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn line_pad_rejects_unaligned() {
+        gen().line_pad(0, 0, 24);
+    }
+
+    #[test]
+    fn stale_pad_reuse_leaks_xor() {
+        // Demonstrates *why* seq must advance: same pad on two different
+        // plaintexts leaks their XOR.
+        let g = gen();
+        let mut a = vec![0x11u8; 16];
+        let mut b = vec![0x22u8; 16];
+        g.apply(0x3000, 7, &mut a);
+        g.apply(0x3000, 7, &mut b);
+        let leaked: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        assert_eq!(leaked, vec![0x11 ^ 0x22; 16]);
+    }
+}

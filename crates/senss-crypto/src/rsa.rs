@@ -1,0 +1,294 @@
+//! A toy RSA used to model program dispatch (§4.1).
+//!
+//! Each SENSS processor holds a public/private key pair `(Kiu, Kip)`; the
+//! program distributor encrypts the symmetric session key `K` under every
+//! group member's public key and ships the bundle with the program. Only the
+//! *protocol shape* matters to the reproduction — key sizes here are toy
+//! (64-bit moduli) and this module must not be used for real security.
+//!
+//! Keys are generated deterministically from a seed so program-dispatch
+//! tests are reproducible.
+
+use crate::rng::SplitMix64;
+use crate::CryptoError;
+
+/// An RSA public key (toy-sized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    /// Modulus `n = p·q`.
+    pub n: u64,
+    /// Public exponent.
+    pub e: u64,
+}
+
+/// An RSA private key (toy-sized).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PrivateKey {
+    n: u64,
+    d: u64,
+}
+
+impl std::fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the private exponent.
+        f.debug_struct("PrivateKey").field("n", &self.n).finish()
+    }
+}
+
+/// A public/private key pair.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyPair {
+    /// The shareable half.
+    pub public: PublicKey,
+    /// The sealed-in-processor half.
+    pub private: PrivateKey,
+}
+
+/// Modular exponentiation `base^exp mod modulus` with 128-bit intermediates.
+fn mod_pow(base: u64, mut exp: u64, modulus: u64) -> u64 {
+    let m = modulus as u128;
+    let mut result = 1u128;
+    let mut b = base as u128 % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = result * b % m;
+        }
+        b = b * b % m;
+        exp >>= 1;
+    }
+    result as u64
+}
+
+/// Deterministic Miller–Rabin for u64 (the standard witness set is exact
+/// below 3.3·10²⁴).
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mod_pow(x, 2, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn gen_prime(rng: &mut SplitMix64) -> u64 {
+    loop {
+        // 32-bit primes with the top bit set so n = p*q has ~64 bits.
+        let candidate = (rng.next_u64() as u32 | 0x8000_0001) as u64;
+        if is_prime(candidate) {
+            return candidate;
+        }
+    }
+}
+
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = egcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    let (g, x, _) = egcd(a as i128, m as i128);
+    if g != 1 {
+        return None;
+    }
+    Some(((x % m as i128 + m as i128) % m as i128) as u64)
+}
+
+impl KeyPair {
+    /// Generates a deterministic key pair from `seed` (one per processor in
+    /// the dispatch model; distinct seeds yield distinct pairs, preventing
+    /// the "cascading breakdown" the paper warns about).
+    pub fn generate(seed: u64) -> KeyPair {
+        let mut rng = SplitMix64::new(seed ^ 0x5e55_5eed_0000_0001);
+        loop {
+            let p = gen_prime(&mut rng);
+            let q = gen_prime(&mut rng);
+            if p == q {
+                continue;
+            }
+            let n = p * q;
+            let phi = (p - 1) * (q - 1);
+            let e = 65537u64;
+            if let Some(d) = mod_inverse(e, phi) {
+                return KeyPair {
+                    public: PublicKey { n, e },
+                    private: PrivateKey { n, d },
+                };
+            }
+        }
+    }
+}
+
+impl PublicKey {
+    /// Encrypts a byte string, 4 plaintext bytes per 8-byte ciphertext word.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for 4-byte chunking with a ≥33-bit modulus, but the
+    /// signature keeps [`CryptoError`] for future larger chunkings.
+    pub fn encrypt(&self, plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let mut out = Vec::with_capacity(plaintext.len() * 2 + 8);
+        out.extend_from_slice(&(plaintext.len() as u64).to_le_bytes());
+        for chunk in plaintext.chunks(4) {
+            let mut m = [0u8; 4];
+            m[..chunk.len()].copy_from_slice(chunk);
+            let m = u32::from_le_bytes(m) as u64;
+            if m >= self.n {
+                return Err(CryptoError::MessageTooLarge);
+            }
+            let c = mod_pow(m, self.e, self.n);
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Ok(out)
+    }
+}
+
+impl PrivateKey {
+    /// Decrypts a ciphertext produced by the matching [`PublicKey`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadLength`] if the ciphertext framing is
+    /// malformed.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if ciphertext.len() < 8 || (ciphertext.len() - 8) % 8 != 0 {
+            return Err(CryptoError::BadLength {
+                len: ciphertext.len(),
+            });
+        }
+        let len = u64::from_le_bytes(ciphertext[..8].try_into().expect("8 bytes")) as usize;
+        let mut out = Vec::with_capacity(len);
+        for chunk in ciphertext[8..].chunks_exact(8) {
+            let c = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            let m = mod_pow(c, self.d, self.n) as u32;
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        if len > out.len() {
+            return Err(CryptoError::BadLength {
+                len: ciphertext.len(),
+            });
+        }
+        out.truncate(len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_pow_small_cases() {
+        assert_eq!(mod_pow(2, 10, 1000), 24);
+        assert_eq!(mod_pow(3, 0, 7), 1);
+        assert_eq!(mod_pow(5, 3, 13), 8);
+    }
+
+    #[test]
+    fn primality_spot_checks() {
+        assert!(is_prime(2));
+        assert!(is_prime(0xFFFF_FFFB)); // 4294967291, largest 32-bit prime
+        assert!(!is_prime(0xFFFF_FFFF));
+        assert!(!is_prime(1));
+        assert!(is_prime(1_000_000_007));
+        assert!(!is_prime(1_000_000_007u64 * 998_244_353));
+    }
+
+    #[test]
+    fn keypair_roundtrip() {
+        let kp = KeyPair::generate(77);
+        let msg = b"session-key-0123";
+        let ct = kp.public.encrypt(msg).unwrap();
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn roundtrip_odd_lengths() {
+        let kp = KeyPair::generate(3);
+        for len in [0usize, 1, 3, 4, 5, 15, 16, 17] {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            let ct = kp.public.encrypt(&msg).unwrap();
+            assert_eq!(kp.private.decrypt(&ct).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let a = KeyPair::generate(1);
+        let b = KeyPair::generate(2);
+        let msg = b"distinct per-processor keys";
+        let ct = a.public.encrypt(msg).unwrap();
+        let wrong = b.private.decrypt(&ct).unwrap();
+        assert_ne!(wrong, msg);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_moduli() {
+        let a = KeyPair::generate(10);
+        let b = KeyPair::generate(11);
+        assert_ne!(a.public.n, b.public.n);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = KeyPair::generate(42);
+        let b = KeyPair::generate(42);
+        assert_eq!(a.public, b.public);
+    }
+
+    #[test]
+    fn decrypt_rejects_malformed_framing() {
+        let kp = KeyPair::generate(5);
+        assert!(matches!(
+            kp.private.decrypt(&[0u8; 7]),
+            Err(CryptoError::BadLength { .. })
+        ));
+        assert!(matches!(
+            kp.private.decrypt(&[0u8; 13]),
+            Err(CryptoError::BadLength { .. })
+        ));
+        // Length field claims more data than present.
+        let mut ct = vec![0u8; 16];
+        ct[..8].copy_from_slice(&100u64.to_le_bytes());
+        assert!(matches!(
+            kp.private.decrypt(&ct),
+            Err(CryptoError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn private_key_debug_hides_exponent() {
+        let kp = KeyPair::generate(8);
+        let dbg = format!("{:?}", kp.private);
+        assert!(dbg.contains("PrivateKey"));
+        assert!(!dbg.contains('d'), "must not expose the private exponent");
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the cryptographic substrate.
+
+use proptest::prelude::*;
+use senss_crypto::aes::Aes;
+use senss_crypto::cbc::{BusChain, CbcDecryptor, CbcEncryptor};
+use senss_crypto::gcm::Gcm;
+use senss_crypto::mac::ChainedMac;
+use senss_crypto::otp::PadGenerator;
+use senss_crypto::rsa::KeyPair;
+use senss_crypto::sha256::Sha256;
+use senss_crypto::Block;
+
+fn block() -> impl Strategy<Value = Block> {
+    proptest::array::uniform16(any::<u8>()).prop_map(Block::from)
+}
+
+fn key16() -> impl Strategy<Value = [u8; 16]> {
+    proptest::array::uniform16(any::<u8>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aes_roundtrips_for_all_key_sizes(key in proptest::collection::vec(any::<u8>(), 0..64), pt in block()) {
+        // Only 16/24/32-byte keys are valid; others must error.
+        match Aes::from_key(&key) {
+            Ok(aes) => {
+                prop_assert!(matches!(key.len(), 16 | 24 | 32));
+                prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+            }
+            Err(_) => prop_assert!(!matches!(key.len(), 16 | 24 | 32)),
+        }
+    }
+
+    #[test]
+    fn aes_is_a_permutation(key in key16(), a in block(), b in block()) {
+        let aes = Aes::new_128(&key);
+        if a != b {
+            prop_assert_ne!(aes.encrypt_block(a), aes.encrypt_block(b));
+        }
+    }
+
+    #[test]
+    fn cbc_roundtrips(key in key16(), iv in block(),
+                      msg in proptest::collection::vec(any::<u8>(), 0..8).prop_map(|blocks| {
+                          blocks.into_iter().flat_map(|b| [b; 16]).collect::<Vec<u8>>()
+                      })) {
+        let mut enc = CbcEncryptor::new(Aes::new_128(&key), iv);
+        let mut dec = CbcDecryptor::new(Aes::new_128(&key), iv);
+        let ct = enc.encrypt(&msg).unwrap();
+        prop_assert_eq!(dec.decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn bus_chain_lockstep(key in key16(), c0 in block(),
+                          data in proptest::collection::vec(block(), 1..40)) {
+        let mut s = BusChain::new(Aes::new_128(&key), c0);
+        let mut r = BusChain::new(Aes::new_128(&key), c0);
+        for d in data {
+            let p = s.encrypt(d);
+            prop_assert_eq!(r.decrypt(p), d);
+        }
+    }
+
+    #[test]
+    fn gcm_roundtrips_and_rejects_tampering(
+        key in key16(),
+        iv in proptest::array::uniform12(any::<u8>()),
+        aad in proptest::collection::vec(any::<u8>(), 0..24),
+        pt in proptest::collection::vec(any::<u8>(), 0..80),
+        flip in any::<u8>(),
+    ) {
+        let gcm = Gcm::new(Aes::new_128(&key));
+        let (mut ct, tag) = gcm.encrypt(&iv, &aad, &pt);
+        prop_assert_eq!(gcm.decrypt(&iv, &aad, &ct, tag).unwrap(), pt.clone());
+        if !ct.is_empty() {
+            let idx = flip as usize % ct.len();
+            ct[idx] ^= 1;
+            prop_assert!(gcm.decrypt(&iv, &aad, &ct, tag).is_err());
+        }
+    }
+
+    #[test]
+    fn chained_mac_detects_any_single_block_substitution(
+        key in key16(), iv in block(),
+        history in proptest::collection::vec(block(), 1..24),
+        at in any::<usize>(), subst in block(),
+    ) {
+        let idx = at % history.len();
+        prop_assume!(history[idx] != subst);
+        let mut honest = ChainedMac::new(Aes::new_128(&key), iv);
+        let mut forged = ChainedMac::new(Aes::new_128(&key), iv);
+        for (i, &b) in history.iter().enumerate() {
+            honest.absorb(b);
+            forged.absorb(if i == idx { subst } else { b });
+        }
+        prop_assert_ne!(honest.tag(128), forged.tag(128));
+    }
+
+    #[test]
+    fn chained_mac_detects_any_adjacent_swap(
+        key in key16(), iv in block(),
+        history in proptest::collection::vec(block(), 2..24),
+        at in any::<usize>(),
+    ) {
+        let idx = at % (history.len() - 1);
+        prop_assume!(history[idx] != history[idx + 1]);
+        let mut honest = ChainedMac::new(Aes::new_128(&key), iv);
+        let mut swapped = ChainedMac::new(Aes::new_128(&key), iv);
+        let mut reordered = history.clone();
+        reordered.swap(idx, idx + 1);
+        for (&a, &b) in history.iter().zip(&reordered) {
+            honest.absorb(a);
+            swapped.absorb(b);
+        }
+        prop_assert_ne!(honest.tag(128), swapped.tag(128));
+    }
+
+    #[test]
+    fn otp_apply_is_involution(key in key16(), addr in any::<u64>(), seq in any::<u64>(),
+                               line in proptest::collection::vec(any::<u8>(), 1..5)
+                                   .prop_map(|v| v.into_iter().flat_map(|b| [b; 16]).collect::<Vec<u8>>())) {
+        let g = PadGenerator::new(Aes::new_128(&key));
+        let mut data = line.clone();
+        g.apply(addr, seq, &mut data);
+        g.apply(addr, seq, &mut data);
+        prop_assert_eq!(data, line);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                         split in any::<usize>()) {
+        let cut = if data.is_empty() { 0 } else { split % data.len() };
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn rsa_roundtrips(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let kp = KeyPair::generate(seed);
+        let ct = kp.public.encrypt(&msg).unwrap();
+        prop_assert_eq!(kp.private.decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn block_prefix_is_prefix(b in block(), m in 1usize..=128) {
+        let p = b.prefix_bits(m);
+        // The first m bits agree, the rest are zero.
+        for bit in 0..128 {
+            let byte = bit / 8;
+            let mask = 0x80u8 >> (bit % 8);
+            let orig = b.as_bytes()[byte] & mask;
+            let pref = p.as_bytes()[byte] & mask;
+            if bit < m {
+                prop_assert_eq!(orig, pref);
+            } else {
+                prop_assert_eq!(pref, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Cache-to-memory protection substrates for SENSS (§2, §6).
+//!
+//! SENSS secures the *bus*; the memory itself is protected by the
+//! uniprocessor techniques the paper integrates in §6 and measures in
+//! Figure 10:
+//!
+//! * **fast OTP memory encryption** (Suh et al. / Yang et al., §2.1):
+//!   blocks are XORed with pads derived from `(address, sequence number)`;
+//!   the sequence numbers live in an on-chip cache ([`snc`]),
+//! * **pad coherence** (§6.1): pads change on every write-back, so cached
+//!   pads must be kept coherent across processors — write-invalidate or
+//!   write-update ([`pad_coherence`]),
+//! * **CHash Merkle-tree memory integrity** (Gassend et al., §2.2/§6.2):
+//!   a hash tree over memory whose nodes are cached in L2; fills from
+//!   memory verify an ancestor chain that stops at the first resident
+//!   node ([`merkle`]).
+//!
+//! [`policy::MemProtPolicy`] packages the three for the simulator's
+//! extension hooks; [`merkle::MerkleTree`] is the *functional* tree used
+//! to demonstrate actual tamper detection.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lazy;
+pub mod merkle;
+pub mod pad_coherence;
+pub mod policy;
+pub mod snc;
+
+pub use lazy::{LazyVerifier, MultisetHash};
+pub use merkle::{MerkleTree, TreeGeometry};
+pub use pad_coherence::{PadDirectory, PadProtocol};
+pub use policy::{IntegrityMode, MemProtConfig, MemProtPolicy};
+pub use snc::SeqNumCache;

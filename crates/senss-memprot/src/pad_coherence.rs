@@ -1,0 +1,209 @@
+//! Pad coherence across processors (§6.1).
+//!
+//! Each processor caches the OTP pads of memory lines it uses. A pad
+//! changes whenever *any* processor writes the line back (the sequence
+//! number advances), so pads are subject to the classic coherence problem.
+//! The paper considers both protocols and adopts **write-invalidate** (as
+//! most SMPs do):
+//!
+//! * *write-invalidate*: a write-back sends one pad-invalidate broadcast;
+//!   a later user of the line must send a pad-request to fetch the latest
+//!   pad before it can decrypt the memory fill.
+//! * *write-update*: every write-back broadcasts the new pad to all
+//!   holders; fills never wait, at the cost of an update message per
+//!   write-back regardless of future use.
+
+use std::collections::HashMap;
+
+/// Which pad-coherence protocol the directory runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PadProtocol {
+    /// Invalidate cached pads on write-back; re-fetch on demand.
+    #[default]
+    WriteInvalidate,
+    /// Push the new pad to all holders on write-back.
+    WriteUpdate,
+}
+
+/// What bus traffic a pad event requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PadAction {
+    /// A broadcast message must go on the bus (invalidate or update).
+    pub broadcast: bool,
+    /// The requester must fetch the pad (blocking) before using the fill.
+    pub request: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PadLine {
+    /// Bitmask of processors holding the *current* pad.
+    holders: u32,
+    /// Whether the line has ever been written back (pads of never-written
+    /// lines are derivable from the in-memory sequence-number table and
+    /// need no cache-to-cache fetch).
+    written: bool,
+}
+
+/// Tracks, per memory line, which processors hold a valid pad.
+#[derive(Debug, Clone)]
+pub struct PadDirectory {
+    protocol: PadProtocol,
+    num_processors: usize,
+    lines: HashMap<u64, PadLine>,
+    broadcasts: u64,
+    requests: u64,
+}
+
+impl PadDirectory {
+    /// Creates a directory for `num_processors` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_processors` is zero or above 32.
+    pub fn new(protocol: PadProtocol, num_processors: usize) -> PadDirectory {
+        assert!(
+            num_processors > 0 && num_processors <= 32,
+            "1..=32 processors supported"
+        );
+        PadDirectory {
+            protocol,
+            num_processors,
+            lines: HashMap::new(),
+            broadcasts: 0,
+            requests: 0,
+        }
+    }
+
+    /// The protocol in use.
+    pub fn protocol(&self) -> PadProtocol {
+        self.protocol
+    }
+
+    /// Processor `pid` writes line `addr` back to memory: its pad advances.
+    /// Returns the required bus action.
+    pub fn on_writeback(&mut self, pid: usize, addr: u64) -> PadAction {
+        debug_assert!(pid < self.num_processors);
+        let all = if self.num_processors == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.num_processors) - 1
+        };
+        let entry = self.lines.entry(addr).or_default();
+        let others = entry.holders & !(1 << pid);
+        entry.written = true;
+        let broadcast = others != 0;
+        match self.protocol {
+            PadProtocol::WriteInvalidate => {
+                // Other holders' pads become stale; the writer keeps the
+                // fresh one.
+                entry.holders = 1 << pid;
+            }
+            PadProtocol::WriteUpdate => {
+                // The broadcast pushes the fresh pad to everyone.
+                entry.holders = all;
+            }
+        }
+        if broadcast {
+            self.broadcasts += 1;
+        }
+        PadAction {
+            broadcast,
+            request: false,
+        }
+    }
+
+    /// Processor `pid` fills line `addr` from memory and needs its pad to
+    /// decrypt. Returns the required bus action (a blocking pad request
+    /// when another processor holds a fresher pad).
+    pub fn on_memory_fill(&mut self, pid: usize, addr: u64) -> PadAction {
+        debug_assert!(pid < self.num_processors);
+        let entry = self.lines.entry(addr).or_default();
+        let has = entry.holders & (1 << pid) != 0;
+        entry.holders |= 1 << pid;
+        // A request is needed only when the line has been written back
+        // (so its pad advanced past the derivable default) and this
+        // processor does not hold the current pad.
+        let request = entry.written && !has;
+        if request {
+            self.requests += 1;
+        }
+        PadAction {
+            broadcast: false,
+            request,
+        }
+    }
+
+    /// Pad broadcasts (invalidates or updates) so far.
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts
+    }
+
+    /// Blocking pad requests so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_writeback_needs_no_broadcast() {
+        let mut d = PadDirectory::new(PadProtocol::WriteInvalidate, 4);
+        let a = d.on_writeback(0, 0x1000);
+        assert!(!a.broadcast);
+        assert_eq!(d.broadcasts(), 0);
+    }
+
+    #[test]
+    fn invalidate_protocol_round_trip() {
+        let mut d = PadDirectory::new(PadProtocol::WriteInvalidate, 2);
+        // P0 writes back: P0 holds the pad.
+        d.on_writeback(0, 0x40);
+        // P1 fills from memory: it lacks the pad while P0 holds it.
+        let a = d.on_memory_fill(1, 0x40);
+        assert!(a.request);
+        // Second fill by P1: pad now held, no request.
+        let b = d.on_memory_fill(1, 0x40);
+        assert!(!b.request);
+        assert_eq!(d.requests(), 1);
+    }
+
+    #[test]
+    fn invalidate_broadcast_only_with_other_holders() {
+        let mut d = PadDirectory::new(PadProtocol::WriteInvalidate, 2);
+        d.on_memory_fill(0, 0x40);
+        d.on_memory_fill(1, 0x40);
+        // P0 writes back: P1's pad is stale -> broadcast.
+        let a = d.on_writeback(0, 0x40);
+        assert!(a.broadcast);
+        // P1 fills again: must request the fresh pad.
+        assert!(d.on_memory_fill(1, 0x40).request);
+    }
+
+    #[test]
+    fn update_protocol_never_requests() {
+        let mut d = PadDirectory::new(PadProtocol::WriteUpdate, 2);
+        d.on_memory_fill(0, 0x40);
+        d.on_memory_fill(1, 0x40);
+        let a = d.on_writeback(0, 0x40);
+        assert!(a.broadcast, "update pushes the pad");
+        // P1 still holds a valid (updated) pad.
+        assert!(!d.on_memory_fill(1, 0x40).request);
+        assert_eq!(d.requests(), 0);
+    }
+
+    #[test]
+    fn unrelated_lines_do_not_interact() {
+        let mut d = PadDirectory::new(PadProtocol::WriteInvalidate, 2);
+        d.on_writeback(0, 0x40);
+        assert!(!d.on_memory_fill(1, 0x80).request);
+    }
+
+    #[test]
+    #[should_panic(expected = "processors")]
+    fn too_many_processors_rejected() {
+        PadDirectory::new(PadProtocol::WriteInvalidate, 33);
+    }
+}

@@ -1,0 +1,261 @@
+//! The combined memory-protection policy consumed by the simulator
+//! extension (§6, Figure 10's `Mem_OTP_CHash`).
+//!
+//! [`MemProtPolicy`] bundles OTP pad coherence (+ its sequence-number
+//! cache) and the CHash Merkle-tree geometry into the exact queries the
+//! bus-level hooks ask:
+//!
+//! * *this processor just filled a data line from memory — must it fetch a
+//!   pad first, and which hash ancestors must it verify?*
+//! * *this processor just wrote a dirty data line back — which broadcast
+//!   and which hash-tree updates follow?*
+
+use crate::merkle::TreeGeometry;
+use crate::pad_coherence::{PadDirectory, PadProtocol};
+use crate::snc::SeqNumCache;
+
+/// Which memory-integrity scheme runs (§2.2, §7.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IntegrityMode {
+    /// No integrity checking.
+    None,
+    /// CHash: verify a Merkle ancestor chain on every memory fill.
+    #[default]
+    CHash,
+    /// LHash-style lazy verification: log reads/writes into on-chip
+    /// multiset hashes, verify in bulk at check-points — no per-fill
+    /// chain walk (see [`crate::lazy`]).
+    Lazy,
+}
+
+/// Configuration for the memory-protection stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemProtConfig {
+    /// Enable OTP memory encryption + pad coherence.
+    pub otp: bool,
+    /// Memory-integrity scheme.
+    pub integrity: IntegrityMode,
+    /// Pad coherence protocol.
+    pub pad_protocol: PadProtocol,
+    /// Covered data span in bytes (power of two).
+    pub data_span: u64,
+    /// Processors on the bus.
+    pub num_processors: usize,
+}
+
+impl MemProtConfig {
+    /// The paper's Figure 10 configuration: OTP with a perfect SNC and
+    /// write-invalidate pad coherence, plus CHash integrity, over a 4 GB
+    /// data span.
+    pub fn paper_default(num_processors: usize) -> MemProtConfig {
+        MemProtConfig {
+            otp: true,
+            integrity: IntegrityMode::CHash,
+            pad_protocol: PadProtocol::WriteInvalidate,
+            data_span: 1 << 32,
+            num_processors,
+        }
+    }
+
+    /// The LHash variant the paper recommends (§7.7): same OTP stack, lazy
+    /// integrity with no per-fill Merkle walk.
+    pub fn lazy_variant(num_processors: usize) -> MemProtConfig {
+        MemProtConfig {
+            integrity: IntegrityMode::Lazy,
+            ..MemProtConfig::paper_default(num_processors)
+        }
+    }
+}
+
+/// The runtime policy object.
+#[derive(Debug)]
+pub struct MemProtPolicy {
+    cfg: MemProtConfig,
+    geometry: TreeGeometry,
+    pads: PadDirectory,
+    snc: SeqNumCache,
+    lazy_reads: u64,
+    lazy_writes: u64,
+}
+
+impl MemProtPolicy {
+    /// Builds the policy from a configuration.
+    pub fn new(cfg: MemProtConfig) -> MemProtPolicy {
+        let geometry = TreeGeometry::new(cfg.data_span);
+        let pads = PadDirectory::new(cfg.pad_protocol, cfg.num_processors);
+        MemProtPolicy {
+            geometry,
+            pads,
+            snc: SeqNumCache::perfect(),
+            lazy_reads: 0,
+            lazy_writes: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MemProtConfig {
+        &self.cfg
+    }
+
+    /// The tree geometry (for tests and the figure harness).
+    pub fn geometry(&self) -> &TreeGeometry {
+        &self.geometry
+    }
+
+    /// Pad-coherence statistics.
+    pub fn pad_directory(&self) -> &PadDirectory {
+        &self.pads
+    }
+
+    /// Sequence-number cache statistics.
+    pub fn snc(&self) -> &SeqNumCache {
+        &self.snc
+    }
+
+    fn is_data_addr(&self, addr: u64) -> bool {
+        addr < self.geometry.data_span()
+    }
+
+    /// Hook: processor `pid` fills data line `addr` from memory. Returns
+    /// whether a blocking pad request must precede use of the data.
+    pub fn fill_needs_pad_request(&mut self, pid: usize, addr: u64) -> bool {
+        if !self.cfg.otp || !self.is_data_addr(addr) {
+            return false;
+        }
+        self.pads.on_memory_fill(pid, addr).request
+    }
+
+    /// Hook: the Merkle ancestor chain to verify for a memory fill of
+    /// `addr` (empty when integrity is off/lazy or `addr` is not a covered
+    /// data line). In [`IntegrityMode::Lazy`] the fill is instead logged
+    /// into the on-chip multiset hash — off the critical path.
+    pub fn fill_integrity_chain(&mut self, _pid: usize, addr: u64) -> Vec<u64> {
+        if !self.is_data_addr(addr) {
+            return Vec::new();
+        }
+        match self.cfg.integrity {
+            IntegrityMode::CHash => self.geometry.ancestors(addr),
+            IntegrityMode::Lazy => {
+                self.lazy_reads += 1;
+                Vec::new()
+            }
+            IntegrityMode::None => Vec::new(),
+        }
+    }
+
+    /// Hook: processor `pid` writes data line `addr` back. Advances the
+    /// line's sequence number; returns whether a pad broadcast message is
+    /// required.
+    pub fn writeback_needs_broadcast(&mut self, pid: usize, addr: u64) -> bool {
+        if !self.cfg.otp || !self.is_data_addr(addr) {
+            return false;
+        }
+        self.snc.advance(addr);
+        self.pads.on_writeback(pid, addr).broadcast
+    }
+
+    /// Hook: the Merkle ancestor chain to *update* after a write-back
+    /// (same chain as verification; the walk stops at the first resident
+    /// node and dirties the parent). Lazy mode logs instead.
+    pub fn writeback_integrity_chain(&mut self, _pid: usize, addr: u64) -> Vec<u64> {
+        if !self.is_data_addr(addr) {
+            return Vec::new();
+        }
+        match self.cfg.integrity {
+            IntegrityMode::CHash => self.geometry.ancestors(addr),
+            IntegrityMode::Lazy => {
+                self.lazy_writes += 1;
+                Vec::new()
+            }
+            IntegrityMode::None => Vec::new(),
+        }
+    }
+
+    /// Memory reads logged by lazy verification.
+    pub fn lazy_reads(&self) -> u64 {
+        self.lazy_reads
+    }
+
+    /// Memory write-backs logged by lazy verification.
+    pub fn lazy_writes(&self) -> u64 {
+        self.lazy_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merkle::HASH_REGION_BASE;
+
+    fn policy() -> MemProtPolicy {
+        MemProtPolicy::new(MemProtConfig {
+            otp: true,
+            integrity: IntegrityMode::CHash,
+            pad_protocol: PadProtocol::WriteInvalidate,
+            data_span: 1 << 30,
+            num_processors: 4,
+        })
+    }
+
+    #[test]
+    fn integrity_chain_for_data_lines_only() {
+        let mut p = policy();
+        assert!(!p.fill_integrity_chain(0, 0x1000).is_empty());
+        assert!(p.fill_integrity_chain(0, HASH_REGION_BASE + 64).is_empty());
+    }
+
+    #[test]
+    fn disabled_features_return_nothing() {
+        let mut p = MemProtPolicy::new(MemProtConfig {
+            otp: false,
+            integrity: IntegrityMode::None,
+            pad_protocol: PadProtocol::WriteInvalidate,
+            data_span: 1 << 30,
+            num_processors: 2,
+        });
+        assert!(p.fill_integrity_chain(0, 0x1000).is_empty());
+        assert!(!p.fill_needs_pad_request(0, 0x1000));
+        assert!(!p.writeback_needs_broadcast(0, 0x1000));
+        assert!(p.writeback_integrity_chain(0, 0x1000).is_empty());
+    }
+
+    #[test]
+    fn writeback_advances_sequence_numbers() {
+        let mut p = policy();
+        p.writeback_needs_broadcast(0, 0x2000);
+        p.writeback_needs_broadcast(0, 0x2000);
+        assert_eq!(p.snc().misses(), 1, "one cold SNC lookup");
+        assert!(p.snc().hits() >= 1);
+    }
+
+    #[test]
+    fn pad_request_after_remote_writeback() {
+        let mut p = policy();
+        assert!(!p.fill_needs_pad_request(1, 0x4000), "cold line: derivable");
+        p.writeback_needs_broadcast(0, 0x4000);
+        assert!(
+            p.fill_needs_pad_request(1, 0x4000),
+            "P0 holds the fresh pad"
+        );
+    }
+
+    #[test]
+    fn lazy_variant_logs_instead_of_walking() {
+        let mut p = MemProtPolicy::new(MemProtConfig::lazy_variant(2));
+        assert!(p.fill_integrity_chain(0, 0x1000).is_empty());
+        assert!(p.writeback_integrity_chain(0, 0x1000).is_empty());
+        assert_eq!(p.lazy_reads(), 1);
+        assert_eq!(p.lazy_writes(), 1);
+    }
+
+    #[test]
+    fn paper_default_is_full_stack() {
+        let c = MemProtConfig::paper_default(4);
+        assert!(c.otp);
+        assert_eq!(c.integrity, IntegrityMode::CHash);
+        assert_eq!(c.pad_protocol, PadProtocol::WriteInvalidate);
+        let p = MemProtPolicy::new(c);
+        assert_eq!(p.geometry().levels(), 13);
+    }
+}

@@ -1,0 +1,333 @@
+//! A generic set-associative cache array with LRU replacement.
+//!
+//! Instantiated twice per processor: an L1 whose per-line metadata is a
+//! dirty bit, and an L2 whose metadata is a [`crate::mesi::MesiState`].
+//! The array stores no data bytes — the simulator tracks timing and
+//! coherence; functional data (for the security layer) is synthesized at
+//! the bus level.
+
+/// A set-associative, LRU-replaced cache directory.
+///
+/// `M` is the per-line metadata (coherence state, dirty bit, …).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<M> {
+    sets: Vec<Vec<LineSlot<M>>>,
+    ways: usize,
+    line_shift: u32,
+    set_count: usize,
+    use_clock: u64,
+}
+
+#[derive(Debug, Clone)]
+struct LineSlot<M> {
+    tag: u64,
+    meta: M,
+    last_use: u64,
+    valid: bool,
+}
+
+impl<M> SetAssocCache<M> {
+    /// Creates a cache of `size` bytes, `ways`-associative, with
+    /// `line_size`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size`, `ways` and `line_size` are consistent powers
+    /// of two with at least one set.
+    pub fn new(size: usize, ways: usize, line_size: usize) -> SetAssocCache<M> {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(ways > 0, "associativity must be positive");
+        assert!(
+            size % (ways * line_size) == 0,
+            "size must be a multiple of ways * line_size"
+        );
+        let set_count = size / (ways * line_size);
+        assert!(
+            set_count.is_power_of_two() && set_count > 0,
+            "set count must be a power of two"
+        );
+        SetAssocCache {
+            sets: Vec::new(),
+            ways,
+            line_shift: line_size.trailing_zeros(),
+            set_count,
+            use_clock: 0,
+        }
+    }
+
+    /// Aligns `addr` down to its line address.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift << self.line_shift
+    }
+
+    /// The line size in bytes.
+    pub fn line_size(&self) -> usize {
+        1 << self.line_shift
+    }
+
+    /// Number of sets.
+    pub fn set_count(&self) -> usize {
+        self.set_count
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr >> self.line_shift) as usize) & (self.set_count - 1)
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    fn ensure_set(&mut self, idx: usize) -> &mut Vec<LineSlot<M>> {
+        if self.sets.is_empty() {
+            self.sets = Vec::with_capacity(self.set_count);
+            for _ in 0..self.set_count {
+                self.sets.push(Vec::new());
+            }
+        }
+        &mut self.sets[idx]
+    }
+
+    /// Looks up `addr`, updating LRU, and returns mutable metadata on hit.
+    pub fn lookup_mut(&mut self, addr: u64) -> Option<&mut M> {
+        let tag = self.tag(addr);
+        let idx = self.set_index(addr);
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let set = self.ensure_set(idx);
+        set.iter_mut().find(|l| l.valid && l.tag == tag).map(|l| {
+            l.last_use = clock;
+            &mut l.meta
+        })
+    }
+
+    /// Looks up `addr` without updating LRU (snoop path).
+    pub fn peek(&self, addr: u64) -> Option<&M> {
+        if self.sets.is_empty() {
+            return None;
+        }
+        let tag = self.tag(addr);
+        let set = &self.sets[self.set_index(addr)];
+        set.iter().find(|l| l.valid && l.tag == tag).map(|l| &l.meta)
+    }
+
+    /// Like [`SetAssocCache::peek`] but mutable (snoop state changes must
+    /// not disturb LRU).
+    pub fn peek_mut(&mut self, addr: u64) -> Option<&mut M> {
+        let tag = self.tag(addr);
+        let idx = self.set_index(addr);
+        let set = self.ensure_set(idx);
+        set.iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+            .map(|l| &mut l.meta)
+    }
+
+    /// Inserts a line for `addr` with metadata `meta`, touching LRU.
+    /// Returns the evicted `(line_addr, meta)` if a valid victim was
+    /// displaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already present (callers must use
+    /// [`SetAssocCache::lookup_mut`] first).
+    pub fn insert(&mut self, addr: u64, meta: M) -> Option<(u64, M)> {
+        let tag = self.tag(addr);
+        let idx = self.set_index(addr);
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let ways = self.ways;
+        let line_shift = self.line_shift;
+        let set = self.ensure_set(idx);
+        assert!(
+            !set.iter().any(|l| l.valid && l.tag == tag),
+            "inserting a line that is already present"
+        );
+        // Fill an invalid slot or grow up to the associativity.
+        if let Some(slot) = set.iter_mut().find(|l| !l.valid) {
+            *slot = LineSlot {
+                tag,
+                meta,
+                last_use: clock,
+                valid: true,
+            };
+            return None;
+        }
+        if set.len() < ways {
+            set.push(LineSlot {
+                tag,
+                meta,
+                last_use: clock,
+                valid: true,
+            });
+            return None;
+        }
+        // Evict the LRU way.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| l.last_use)
+            .expect("non-empty set");
+        let evicted_addr = victim.tag << line_shift;
+        let evicted_meta = std::mem::replace(
+            victim,
+            LineSlot {
+                tag,
+                meta,
+                last_use: clock,
+                valid: true,
+            },
+        )
+        .meta;
+        Some((evicted_addr, evicted_meta))
+    }
+
+    /// Number of valid lines currently resident (statistics / tests).
+    pub fn resident(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+
+    /// Iterates over `(line_addr, &meta)` of all valid lines.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &M)> {
+        let shift = self.line_shift;
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|l| l.valid)
+            .map(move |l| (l.tag << shift, &l.meta))
+    }
+}
+
+impl<M: Default> SetAssocCache<M> {
+    /// Removes the line for `addr`, returning its metadata if present.
+    /// The slot is left invalid and will be reused by future inserts.
+    pub fn take(&mut self, addr: u64) -> Option<M> {
+        if self.sets.is_empty() {
+            return None;
+        }
+        let tag = self.tag(addr);
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        for slot in set.iter_mut() {
+            if slot.valid && slot.tag == tag {
+                slot.valid = false;
+                return Some(std::mem::take(&mut slot.meta));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> SetAssocCache<u32> {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        SetAssocCache::new(512, 2, 64)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = cache();
+        assert_eq!(c.set_count(), 4);
+        assert_eq!(c.ways(), 2);
+        assert_eq!(c.line_size(), 64);
+        assert_eq!(c.line_addr(0x1234), 0x1200);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache();
+        assert!(c.lookup_mut(0x1000).is_none());
+        assert!(c.insert(0x1000, 7).is_none());
+        assert_eq!(c.lookup_mut(0x1000).copied(), Some(7));
+        assert_eq!(c.lookup_mut(0x1004).copied(), Some(7), "same line");
+        assert!(c.lookup_mut(0x1040).is_none(), "next line");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = cache();
+        // Three lines mapping to the same set (stride = sets * line = 256).
+        c.insert(0x0000, 1);
+        c.insert(0x0100, 2);
+        // Touch the first so the second is LRU.
+        c.lookup_mut(0x0000);
+        let evicted = c.insert(0x0200, 3);
+        assert_eq!(evicted, Some((0x0100, 2)));
+        assert!(c.peek(0x0000).is_some());
+        assert!(c.peek(0x0200).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru() {
+        let mut c = cache();
+        c.insert(0x0000, 1);
+        c.insert(0x0100, 2);
+        // Peek (snoop) the first line; it must remain LRU.
+        assert_eq!(c.peek(0x0000), Some(&1));
+        let evicted = c.insert(0x0200, 3);
+        assert_eq!(evicted, Some((0x0000, 1)));
+    }
+
+    #[test]
+    fn take_removes() {
+        let mut c = cache();
+        c.insert(0x40, 9);
+        assert_eq!(c.take(0x40), Some(9));
+        assert!(c.peek(0x40).is_none());
+        assert_eq!(c.take(0x40), None);
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn invalidated_slot_is_reused() {
+        let mut c = cache();
+        c.insert(0x0000, 1);
+        c.insert(0x0100, 2);
+        c.take(0x0000);
+        // Reinsertion must use the freed slot, not evict.
+        assert!(c.insert(0x0200, 3).is_none());
+        assert_eq!(c.resident(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn double_insert_panics() {
+        let mut c = cache();
+        c.insert(0x40, 1);
+        c.insert(0x44, 2); // same line
+    }
+
+    #[test]
+    fn iter_lists_valid_lines() {
+        let mut c = cache();
+        c.insert(0x0000, 1);
+        c.insert(0x0040, 2);
+        let mut lines: Vec<(u64, u32)> = c.iter().map(|(a, m)| (a, *m)).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![(0x0000, 1), (0x0040, 2)]);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = cache();
+        for i in 0..4u64 {
+            assert!(c.insert(i * 64, i as u32).is_none());
+        }
+        assert_eq!(c.resident(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        SetAssocCache::<u32>::new(512, 2, 48);
+    }
+}

@@ -1,0 +1,172 @@
+//! The hook through which security layers attach to the simulator.
+//!
+//! The simulator calls the [`Extension`] at well-defined points:
+//!
+//! * before a granted cache-to-cache data transfer starts (mask
+//!   availability may delay it — §4.4),
+//! * to learn the fixed per-transfer overhead (+3 cycles of XOR/GID lookup
+//!   — §7.1),
+//! * after a transfer completes (the SENSS authentication counter may
+//!   inject an `Auth` transaction; memory protection may inject pad
+//!   messages — §4.3, §6.1),
+//! * when a fill arrives *from memory* (the Merkle ancestor chain must be
+//!   verified — §6.2),
+//! * when a dirty line is written back (pad update + hash-tree update).
+//!
+//! [`NullExtension`] implements the insecure baseline: every hook is a
+//! no-op, so a `System<NullExtension>` is the stock SMP the paper compares
+//! against.
+
+use crate::bus::Transaction;
+
+/// Follow-up bus messages an extension asks the simulator to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FollowUp {
+    /// A SENSS bus-authentication transaction initiated by `initiator`.
+    Auth {
+        /// Initiating processor (round-robin across the group, §4.3).
+        initiator: usize,
+    },
+    /// A pad-invalidate broadcast for `addr` from `pid`.
+    PadInvalidate {
+        /// Originating processor.
+        pid: usize,
+        /// Memory line whose pad changed.
+        addr: u64,
+    },
+}
+
+/// Security/protection hooks invoked by [`crate::system::System`].
+pub trait Extension {
+    /// Cycles the granted transfer must wait before it can start (e.g. no
+    /// encryption mask is available yet). Called only for cache-to-cache
+    /// data transfers. `now` is the grant cycle.
+    fn transfer_start_delay(&mut self, txn: &Transaction, now: u64) -> u64 {
+        let _ = (txn, now);
+        0
+    }
+
+    /// Fixed extra latency on the critical path of each cache-to-cache
+    /// data transfer (the paper's +3 cycles: 1 sender XOR, 2 receiver
+    /// lookup+XOR).
+    fn transfer_extra_latency(&mut self, txn: &Transaction) -> u64 {
+        let _ = txn;
+        0
+    }
+
+    /// Called when any bus transaction completes; returns follow-up
+    /// messages to inject (authentication, pad coherence).
+    fn transaction_complete(&mut self, txn: &Transaction, now: u64) -> Vec<FollowUp> {
+        let _ = (txn, now);
+        Vec::new()
+    }
+
+    /// Whether processor `pid` must fetch the latest OTP pad from another
+    /// cache before it can decrypt a fill of `addr` from memory (§6.1 pad
+    /// coherence). A `true` return injects a blocking
+    /// [`crate::bus::TxnKind::PadRequest`] transaction.
+    fn pad_request_needed(&mut self, pid: usize, addr: u64) -> bool {
+        let _ = (pid, addr);
+        false
+    }
+
+    /// The Merkle ancestor chain (nearest parent first) that must be
+    /// verified when processor `pid` fills line `addr` **from memory**.
+    /// The simulator walks the chain, stopping at the first ancestor found
+    /// in the local L2 (§6.2). Empty means no integrity checking.
+    fn integrity_chain(&mut self, pid: usize, addr: u64) -> Vec<u64> {
+        let _ = (pid, addr);
+        Vec::new()
+    }
+
+    /// The Merkle ancestor chain that must be *updated* when processor
+    /// `pid` writes line `addr` back to memory. Empty means no integrity
+    /// maintenance. These fetches are non-blocking (lazy update).
+    fn writeback_chain(&mut self, pid: usize, addr: u64) -> Vec<u64> {
+        let _ = (pid, addr);
+        Vec::new()
+    }
+
+    /// Latency in cycles of one hash verification step.
+    fn hash_latency(&self) -> u64 {
+        0
+    }
+}
+
+/// The insecure baseline: no security machinery at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullExtension;
+
+impl Extension for NullExtension {}
+
+/// Blanket impl so `&mut E` can be handed to a [`crate::system::System`]
+/// when the caller wants to keep ownership of the extension.
+impl<E: Extension + ?Sized> Extension for &mut E {
+    fn transfer_start_delay(&mut self, txn: &Transaction, now: u64) -> u64 {
+        (**self).transfer_start_delay(txn, now)
+    }
+
+    fn transfer_extra_latency(&mut self, txn: &Transaction) -> u64 {
+        (**self).transfer_extra_latency(txn)
+    }
+
+    fn transaction_complete(&mut self, txn: &Transaction, now: u64) -> Vec<FollowUp> {
+        (**self).transaction_complete(txn, now)
+    }
+
+    fn pad_request_needed(&mut self, pid: usize, addr: u64) -> bool {
+        (**self).pad_request_needed(pid, addr)
+    }
+
+    fn integrity_chain(&mut self, pid: usize, addr: u64) -> Vec<u64> {
+        (**self).integrity_chain(pid, addr)
+    }
+
+    fn writeback_chain(&mut self, pid: usize, addr: u64) -> Vec<u64> {
+        (**self).writeback_chain(pid, addr)
+    }
+
+    fn hash_latency(&self) -> u64 {
+        (**self).hash_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{BusRequest, Supplier, TxnKind};
+
+    fn txn() -> Transaction {
+        Transaction {
+            request: BusRequest {
+                pid: 0,
+                kind: TxnKind::Read,
+                addr: 0x40,
+                blocking: true,
+                token: 0,
+            },
+            supplier: Supplier::Cache(1),
+            granted_at: 100,
+        }
+    }
+
+    #[test]
+    fn null_extension_is_free() {
+        let mut e = NullExtension;
+        assert_eq!(e.transfer_start_delay(&txn(), 0), 0);
+        assert_eq!(e.transfer_extra_latency(&txn()), 0);
+        assert!(e.transaction_complete(&txn(), 0).is_empty());
+        assert!(!e.pad_request_needed(0, 0x40));
+        assert!(e.integrity_chain(0, 0x40).is_empty());
+        assert!(e.writeback_chain(0, 0x40).is_empty());
+        assert_eq!(e.hash_latency(), 0);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut e = NullExtension;
+        let r = &mut e;
+        let mut rr = r;
+        assert_eq!(Extension::transfer_extra_latency(&mut rr, &txn()), 0);
+    }
+}

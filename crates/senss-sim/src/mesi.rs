@@ -1,0 +1,139 @@
+//! The MESI write-invalidate snooping coherence protocol.
+//!
+//! The paper evaluates SENSS on "a SMP system with a snooping write
+//! invalidate cache coherence protocol" with "the MESI cache coherence
+//! protocol … adopted" (§7.2). States live on L2 lines; this module defines
+//! the state machine, and [`crate::system`] drives it from bus snoops.
+
+/// MESI state of a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MesiState {
+    /// Not present.
+    #[default]
+    Invalid,
+    /// Present, clean, possibly shared with other caches.
+    Shared,
+    /// Present, clean, guaranteed the only cached copy.
+    Exclusive,
+    /// Present, dirty, guaranteed the only cached copy.
+    Modified,
+}
+
+impl MesiState {
+    /// Whether the line may satisfy a local read without a bus transaction.
+    pub fn can_read(self) -> bool {
+        self != MesiState::Invalid
+    }
+
+    /// Whether the line may satisfy a local write without a bus transaction.
+    /// `Shared` requires a bus upgrade first.
+    pub fn can_write(self) -> bool {
+        matches!(self, MesiState::Exclusive | MesiState::Modified)
+    }
+
+    /// Whether this cache must supply the data on a remote read/write miss
+    /// (dirty line ⇒ cache-to-cache transfer).
+    pub fn must_supply(self) -> bool {
+        self == MesiState::Modified
+    }
+
+    /// State after observing a remote read (BusRd) of this line.
+    pub fn on_remote_read(self) -> MesiState {
+        match self {
+            MesiState::Invalid => MesiState::Invalid,
+            // M flushes to the requester (and memory) and becomes Shared;
+            // E and S degrade to Shared.
+            _ => MesiState::Shared,
+        }
+    }
+
+    /// State after observing a remote write (BusRdX / BusUpgr): always
+    /// invalidated — this *is* the write-invalidate protocol.
+    pub fn on_remote_write(self) -> MesiState {
+        MesiState::Invalid
+    }
+
+    /// State a requester installs after a read miss completes, given
+    /// whether any other cache holds the line.
+    pub fn fill_for_read(other_sharers: bool) -> MesiState {
+        if other_sharers {
+            MesiState::Shared
+        } else {
+            MesiState::Exclusive
+        }
+    }
+
+    /// State a requester installs after a write miss or upgrade completes.
+    pub fn fill_for_write() -> MesiState {
+        MesiState::Modified
+    }
+
+    /// Local write hit on E silently upgrades to M (no bus transaction).
+    pub fn on_local_write(self) -> MesiState {
+        debug_assert!(self.can_write(), "local write requires E or M");
+        MesiState::Modified
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MesiState::*;
+
+    #[test]
+    fn read_permissions() {
+        assert!(!Invalid.can_read());
+        assert!(Shared.can_read());
+        assert!(Exclusive.can_read());
+        assert!(Modified.can_read());
+    }
+
+    #[test]
+    fn write_permissions() {
+        assert!(!Invalid.can_write());
+        assert!(!Shared.can_write());
+        assert!(Exclusive.can_write());
+        assert!(Modified.can_write());
+    }
+
+    #[test]
+    fn only_modified_supplies() {
+        assert!(Modified.must_supply());
+        assert!(!Exclusive.must_supply());
+        assert!(!Shared.must_supply());
+        assert!(!Invalid.must_supply());
+    }
+
+    #[test]
+    fn remote_read_degrades_to_shared() {
+        assert_eq!(Modified.on_remote_read(), Shared);
+        assert_eq!(Exclusive.on_remote_read(), Shared);
+        assert_eq!(Shared.on_remote_read(), Shared);
+        assert_eq!(Invalid.on_remote_read(), Invalid);
+    }
+
+    #[test]
+    fn remote_write_invalidates_everything() {
+        for s in [Invalid, Shared, Exclusive, Modified] {
+            assert_eq!(s.on_remote_write(), Invalid);
+        }
+    }
+
+    #[test]
+    fn fill_states() {
+        assert_eq!(MesiState::fill_for_read(true), Shared);
+        assert_eq!(MesiState::fill_for_read(false), Exclusive);
+        assert_eq!(MesiState::fill_for_write(), Modified);
+    }
+
+    #[test]
+    fn silent_e_to_m_upgrade() {
+        assert_eq!(Exclusive.on_local_write(), Modified);
+        assert_eq!(Modified.on_local_write(), Modified);
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(MesiState::default(), Invalid);
+    }
+}

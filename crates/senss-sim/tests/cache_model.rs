@@ -1,0 +1,138 @@
+//! Model-based property tests: `SetAssocCache` against a naive reference
+//! implementation, and cross-checks of the simulator's cache accounting.
+
+use proptest::prelude::*;
+use senss_sim::cache::SetAssocCache;
+use std::collections::HashMap;
+
+/// A deliberately naive reference: a map plus per-set LRU order lists.
+#[derive(Debug, Default)]
+struct RefCache {
+    sets: HashMap<usize, Vec<(u64, u32)>>, // set -> MRU-last list of (tag, meta)
+    ways: usize,
+    line_shift: u32,
+    set_count: usize,
+}
+
+impl RefCache {
+    fn new(size: usize, ways: usize, line: usize) -> RefCache {
+        RefCache {
+            sets: HashMap::new(),
+            ways,
+            line_shift: line.trailing_zeros(),
+            set_count: size / (ways * line),
+        }
+    }
+
+    fn key(&self, addr: u64) -> (usize, u64) {
+        let tag = addr >> self.line_shift;
+        ((tag as usize) & (self.set_count - 1), tag)
+    }
+
+    fn lookup(&mut self, addr: u64) -> Option<u32> {
+        let (set, tag) = self.key(addr);
+        let list = self.sets.entry(set).or_default();
+        if let Some(pos) = list.iter().position(|&(t, _)| t == tag) {
+            let entry = list.remove(pos);
+            list.push(entry); // MRU
+            Some(entry.1)
+        } else {
+            None
+        }
+    }
+
+    fn insert(&mut self, addr: u64, meta: u32) -> Option<(u64, u32)> {
+        let (set, tag) = self.key(addr);
+        let shift = self.line_shift;
+        let ways = self.ways;
+        let list = self.sets.entry(set).or_default();
+        assert!(!list.iter().any(|&(t, _)| t == tag));
+        let evicted = if list.len() == ways {
+            let (t, m) = list.remove(0); // LRU at front
+            Some((t << shift, m))
+        } else {
+            None
+        };
+        list.push((tag, meta));
+        evicted
+    }
+
+    fn take(&mut self, addr: u64) -> Option<u32> {
+        let (set, tag) = self.key(addr);
+        let list = self.sets.entry(set).or_default();
+        let pos = list.iter().position(|&(t, _)| t == tag)?;
+        Some(list.remove(pos).1)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    Lookup(u64),
+    Insert(u64, u32),
+    Take(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    proptest::collection::vec(
+        (0u8..3, 0u64..64, any::<u32>()).prop_map(|(k, line, meta)| {
+            let addr = line * 64 + (meta as u64 % 64); // unaligned offsets too
+            match k {
+                0 => CacheOp::Lookup(addr),
+                1 => CacheOp::Insert(addr, meta),
+                _ => CacheOp::Take(addr),
+            }
+        }),
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The production cache behaves exactly like the naive reference
+    /// under arbitrary op sequences (hits, LRU evictions, invalidations).
+    #[test]
+    fn cache_matches_reference(ops in ops()) {
+        // 8 sets x 2 ways x 64B = 1 KiB cache, small enough to evict a lot.
+        let mut real: SetAssocCache<u32> = SetAssocCache::new(1024, 2, 64);
+        let mut reference = RefCache::new(1024, 2, 64);
+        for op in ops {
+            match op {
+                CacheOp::Lookup(addr) => {
+                    let got = real.lookup_mut(addr).map(|m| *m);
+                    prop_assert_eq!(got, reference.lookup(addr));
+                }
+                CacheOp::Insert(addr, meta) => {
+                    // Skip inserts of already-present lines (the real
+                    // cache treats them as a caller bug).
+                    if reference.lookup(addr).is_some() {
+                        real.lookup_mut(addr); // keep LRU clocks aligned
+                        continue;
+                    }
+                    let got = real.insert(addr, meta);
+                    let want = reference.insert(addr, meta);
+                    prop_assert_eq!(got, want);
+                }
+                CacheOp::Take(addr) => {
+                    prop_assert_eq!(real.take(addr), reference.take(addr));
+                }
+            }
+        }
+    }
+
+    /// Residency never exceeds capacity, and peek never disturbs LRU
+    /// (peeking between touches must not change eviction outcomes).
+    #[test]
+    fn residency_bounded_and_peek_is_pure(lines in proptest::collection::vec(0u64..128, 1..200)) {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1024, 2, 64);
+        for (i, &l) in lines.iter().enumerate() {
+            let addr = l * 64;
+            let _ = c.peek(addr);
+            if c.lookup_mut(addr).is_none() {
+                c.insert(addr, i as u32);
+            }
+            let _ = c.peek(addr);
+            prop_assert!(c.resident() <= 16, "capacity is 16 lines");
+        }
+    }
+}

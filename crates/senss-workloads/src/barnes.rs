@@ -1,0 +1,45 @@
+//! BARNES-like workload: irregular octree walks with hot shared nodes.
+//!
+//! SPLASH-2 BARNES (Barnes-Hut n-body) repeatedly walks a shared tree whose
+//! top levels are read by every processor almost every step (excellent
+//! reuse), while body updates write to shared cells occasionally —
+//! producing read-mostly sharing punctuated by invalidations and dirty
+//! transfers at the hot spots.
+
+use crate::builder::{Region, TraceBuilder};
+use senss_sim::trace::VecTrace;
+
+/// Shared tree bytes (hot working set; fits in L2).
+const TREE_BYTES: u64 = 256 << 10;
+/// Private body bytes per core.
+const BODY_BYTES: u64 = 256 << 10;
+
+pub(crate) fn generate(cores: usize, ops_per_core: usize, seed: u64) -> Vec<VecTrace> {
+    let tree = Region::new(0x2000_0000, TREE_BYTES);
+    (0..cores)
+        .map(|pid| {
+            let mut b = TraceBuilder::new(seed ^ 0xBA12_E5, pid);
+            let bodies = Region::new(0x2800_0000 + pid as u64 * BODY_BYTES, BODY_BYTES);
+            let mut body_cursor = 0u64;
+            while b.len() < ops_per_core {
+                // Walk the tree: a burst of hot-biased reads (top levels are
+                // re-read constantly), occasionally updating a cell.
+                let depth = 4 + b.below(6);
+                for _ in 0..depth {
+                    let node = b.hot_index(tree.lines());
+                    if b.chance(0.06) {
+                        b.write(tree.line(node), 8, 25);
+                    } else {
+                        b.read(tree.line(node), 8, 25);
+                    }
+                }
+                // Update the local body: read-modify-write with locality.
+                let body = bodies.line(body_cursor);
+                b.read(body, 20, 60);
+                b.write(body, 5, 15);
+                body_cursor += 1;
+            }
+            b.build()
+        })
+        .collect()
+}

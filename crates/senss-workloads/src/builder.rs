@@ -1,0 +1,252 @@
+//! Shared trace-building utilities for the workload generators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use senss_sim::trace::{Op, VecTrace};
+
+/// Per-core trace accumulator with a seeded RNG and address helpers.
+///
+/// All generators emit addresses through a [`TraceBuilder`], which keeps
+/// the address arithmetic (line alignment, region partitioning) in one
+/// place.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    ops: Vec<Op>,
+    rng: SmallRng,
+}
+
+impl TraceBuilder {
+    /// Creates a builder seeded deterministically from `(seed, pid)`.
+    pub fn new(seed: u64, pid: usize) -> TraceBuilder {
+        TraceBuilder {
+            ops: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ pid as u64),
+        }
+    }
+
+    /// Number of operations emitted so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operations have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Emits a read of `addr` after a uniform gap in `[gap_lo, gap_hi]`.
+    pub fn read(&mut self, addr: u64, gap_lo: u64, gap_hi: u64) {
+        let gap = self.gap(gap_lo, gap_hi);
+        self.ops.push(Op::read(gap, addr));
+    }
+
+    /// Emits a write of `addr` after a uniform gap in `[gap_lo, gap_hi]`.
+    pub fn write(&mut self, addr: u64, gap_lo: u64, gap_hi: u64) {
+        let gap = self.gap(gap_lo, gap_hi);
+        self.ops.push(Op::write(gap, addr));
+    }
+
+    /// Emits a read or a write with probability `write_prob` of a write.
+    pub fn access(&mut self, addr: u64, write_prob: f64, gap_lo: u64, gap_hi: u64) {
+        if self.rng.gen_bool(write_prob) {
+            self.write(addr, gap_lo, gap_hi);
+        } else {
+            self.read(addr, gap_lo, gap_hi);
+        }
+    }
+
+    fn gap(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..=hi)
+        }
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.rng.gen_range(0..bound)
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A Zipf-ish hot index in `[0, n)`: repeatedly prefers low indices,
+    /// used for tree-root hot spots in `barnes`.
+    pub fn hot_index(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut idx = self.below(n);
+        // Two rounds of min-of-two biases the pick towards 0.
+        idx = idx.min(self.below(n));
+        idx = idx.min(self.below(n));
+        idx
+    }
+
+    /// Finishes the trace.
+    pub fn build(self) -> VecTrace {
+        VecTrace::new(self.ops)
+    }
+}
+
+/// A contiguous address region carved out of the shared address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    base: u64,
+    len: u64,
+}
+
+impl Region {
+    /// Creates the region `[base, base + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(base: u64, len: u64) -> Region {
+        assert!(len > 0, "region must be non-empty");
+        Region { base, len }
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the region is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The address of byte `offset` within the region (wraps around).
+    pub fn at(&self, offset: u64) -> u64 {
+        self.base + offset % self.len
+    }
+
+    /// The address of the `i`-th 64-byte line (wraps around).
+    pub fn line(&self, i: u64) -> u64 {
+        self.at(i * 64)
+    }
+
+    /// Number of 64-byte lines in the region.
+    pub fn lines(&self) -> u64 {
+        self.len / 64
+    }
+
+    /// Splits the region into `n` equal strips, returning strip `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n` or the region is smaller than `n` lines.
+    pub fn strip(&self, i: usize, n: usize) -> Region {
+        assert!(i < n, "strip index out of range");
+        let part = self.len / n as u64;
+        assert!(part >= 64, "strips must hold at least one line");
+        Region::new(self.base + part * i as u64, part)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senss_sim::trace::TraceSource;
+
+    #[test]
+    fn builder_is_deterministic() {
+        let mk = || {
+            let mut b = TraceBuilder::new(3, 1);
+            for i in 0..50 {
+                b.access(i * 64, 0.3, 5, 20);
+            }
+            b.build()
+        };
+        let mut a = mk();
+        let mut b = mk();
+        while let (Some(x), Some(y)) = (a.next_op(), b.next_op()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn distinct_pids_distinct_streams() {
+        let mut a = TraceBuilder::new(3, 0);
+        let mut b = TraceBuilder::new(3, 1);
+        let mut diff = false;
+        for i in 0..50 {
+            a.access(i * 64, 0.5, 0, 100);
+            b.access(i * 64, 0.5, 0, 100);
+        }
+        let (mut ta, mut tb) = (a.build(), b.build());
+        while let (Some(x), Some(y)) = (ta.next_op(), tb.next_op()) {
+            if x != y {
+                diff = true;
+            }
+        }
+        assert!(diff);
+    }
+
+    #[test]
+    fn gaps_respect_bounds() {
+        let mut b = TraceBuilder::new(9, 0);
+        for _ in 0..100 {
+            b.read(0, 10, 20);
+        }
+        let mut t = b.build();
+        while let Some(op) = t.next_op() {
+            assert!(op.gap >= 10 && op.gap <= 20);
+        }
+    }
+
+    #[test]
+    fn degenerate_gap_range() {
+        let mut b = TraceBuilder::new(9, 0);
+        b.read(0, 7, 7);
+        let mut t = b.build();
+        assert_eq!(t.next_op().unwrap().gap, 7);
+    }
+
+    #[test]
+    fn region_addressing() {
+        let r = Region::new(0x1000, 256);
+        assert_eq!(r.at(0), 0x1000);
+        assert_eq!(r.at(255), 0x10FF);
+        assert_eq!(r.at(256), 0x1000, "wraps");
+        assert_eq!(r.line(1), 0x1040);
+        assert_eq!(r.lines(), 4);
+    }
+
+    #[test]
+    fn region_strips_partition() {
+        let r = Region::new(0, 4096);
+        let s0 = r.strip(0, 4);
+        let s3 = r.strip(3, 4);
+        assert_eq!(s0.base(), 0);
+        assert_eq!(s0.len(), 1024);
+        assert_eq!(s3.base(), 3072);
+    }
+
+    #[test]
+    fn hot_index_prefers_low_values() {
+        let mut b = TraceBuilder::new(1, 0);
+        let n = 1000u64;
+        let samples: Vec<u64> = (0..2000).map(|_| b.hot_index(n)).collect();
+        let low = samples.iter().filter(|&&x| x < n / 4).count();
+        // min-of-three gives P(x < n/4) ≈ 1 - (3/4)^3 ≈ 0.58.
+        assert!(low > samples.len() / 2, "hot_index not biased: {low}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strip index")]
+    fn bad_strip_panics() {
+        Region::new(0, 4096).strip(4, 4);
+    }
+}

@@ -1,0 +1,55 @@
+//! FFT-like workload: alternating local-compute and all-to-all transpose
+//! phases.
+//!
+//! The SPLASH-2 FFT communicates through matrix transposes in which every
+//! processor reads blocks most recently *written* by every other processor
+//! — the canonical burst of dirty cache-to-cache transfers on a snooping
+//! bus. Between transposes, each processor computes on its own partition
+//! with high locality.
+
+use crate::builder::{Region, TraceBuilder};
+use senss_sim::trace::VecTrace;
+
+/// Matrix bytes per core (512 KB: several L1s, comfortably inside L2).
+const STRIP_BYTES: u64 = 512 << 10;
+/// Lines touched per compute phase segment.
+const COMPUTE_LINES: u64 = 96;
+/// Lines read from each remote strip per transpose.
+const TRANSPOSE_LINES: u64 = 24;
+
+pub(crate) fn generate(cores: usize, ops_per_core: usize, seed: u64) -> Vec<VecTrace> {
+    let matrix = Region::new(0x1000_0000, STRIP_BYTES * cores as u64);
+    (0..cores)
+        .map(|pid| {
+            let mut b = TraceBuilder::new(seed ^ 0xFF7, pid);
+            let own = matrix.strip(pid, cores);
+            let mut phase = 0u64;
+            while b.len() < ops_per_core {
+                // --- compute phase: walk a window of the local strip ---
+                let window = phase * COMPUTE_LINES;
+                for i in 0..COMPUTE_LINES {
+                    let addr = own.line(window + i);
+                    b.read(addr, 15, 45);
+                    if b.chance(0.5) {
+                        b.write(addr, 5, 15);
+                    }
+                }
+                // --- transpose phase: gather from every remote strip ---
+                for other in 0..cores {
+                    if other == pid {
+                        continue;
+                    }
+                    let remote = matrix.strip(other, cores);
+                    for i in 0..TRANSPOSE_LINES {
+                        // Read the block the remote core just produced…
+                        b.read(remote.line(window + i * 4 + pid as u64), 2, 8);
+                        // …and scatter it into the local strip.
+                        b.write(own.line(window + i * 4 + other as u64), 2, 8);
+                    }
+                }
+                phase += 1;
+            }
+            b.build()
+        })
+        .collect()
+}

@@ -1,0 +1,53 @@
+//! LU-like workload: blocked factorization with pivot-block broadcast.
+//!
+//! In SPLASH-2 LU, each iteration one processor factorizes the pivot block
+//! and every other processor then reads it to update its own blocks — a
+//! textbook single-producer / many-consumer pattern that turns into dirty
+//! cache-to-cache transfers on a write-invalidate bus.
+
+use crate::builder::{Region, TraceBuilder};
+use senss_sim::trace::VecTrace;
+
+/// Lines per pivot block (1 KB blocks = 16 lines).
+const PIVOT_LINES: u64 = 16;
+/// Pivot block area (shared).
+const PIVOT_BYTES: u64 = 512 << 10;
+/// Private block bytes per core.
+const PRIVATE_BYTES: u64 = 512 << 10;
+
+pub(crate) fn generate(cores: usize, ops_per_core: usize, seed: u64) -> Vec<VecTrace> {
+    let pivots = Region::new(0x3000_0000, PIVOT_BYTES);
+    (0..cores)
+        .map(|pid| {
+            let mut b = TraceBuilder::new(seed ^ 0x1_u64, pid);
+            let private = Region::new(0x3800_0000 + pid as u64 * PRIVATE_BYTES, PRIVATE_BYTES);
+            let mut iter = 0u64;
+            let mut cursor = 0u64;
+            while b.len() < ops_per_core {
+                let owner = (iter % cores as u64) as usize;
+                let pivot_base = iter * PIVOT_LINES;
+                if owner == pid {
+                    // Factorize the pivot block: read-modify-write each line.
+                    for i in 0..PIVOT_LINES {
+                        b.read(pivots.line(pivot_base + i), 10, 30);
+                        b.write(pivots.line(pivot_base + i), 5, 15);
+                    }
+                } else {
+                    // Consume the pivot block the owner just produced.
+                    for i in 0..PIVOT_LINES {
+                        b.read(pivots.line(pivot_base + i), 8, 20);
+                    }
+                }
+                // Update own blocks using the pivot.
+                for _ in 0..3 * PIVOT_LINES {
+                    let line = private.line(cursor);
+                    b.read(line, 12, 35);
+                    b.write(line, 5, 15);
+                    cursor += 1;
+                }
+                iter += 1;
+            }
+            b.build()
+        })
+        .collect()
+}

@@ -1,0 +1,152 @@
+//! Microbenchmark traces for targeted stress and correctness tests.
+//!
+//! These are not paper workloads; they isolate single behaviours:
+//! worst-case mask pressure ([`ping_pong`]), the no-sharing baseline
+//! ([`private_stream`]), and the paper's §7.8 variability illustration
+//! ([`false_sharing`], Figure 11).
+
+use senss_sim::trace::{Op, VecTrace};
+
+/// Two (or more) cores alternately writing and reading the same line —
+/// maximum cache-to-cache rate, the worst case for mask availability and
+/// authentication bandwidth.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn ping_pong(cores: usize, ops_per_core: usize) -> Vec<VecTrace> {
+    assert!(cores > 0, "need at least one core");
+    let line = 0x7000_0000u64;
+    (0..cores)
+        .map(|pid| {
+            let ops = (0..ops_per_core)
+                .map(|i| {
+                    // Offset phases so cores interleave on the bus.
+                    let gap = if i == 0 { 5 * pid as u64 } else { 10 };
+                    if (i + pid) % 2 == 0 {
+                        Op::write(gap, line)
+                    } else {
+                        Op::read(gap, line)
+                    }
+                })
+                .collect();
+            VecTrace::new(ops)
+        })
+        .collect()
+}
+
+/// Each core streams through a private region: zero sharing, pure
+/// cache-to-memory traffic. SENSS bus encryption should cost almost
+/// nothing here.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn private_stream(cores: usize, ops_per_core: usize) -> Vec<VecTrace> {
+    assert!(cores > 0, "need at least one core");
+    (0..cores)
+        .map(|pid| {
+            let base = 0x8000_0000u64 + pid as u64 * (8 << 20);
+            let ops = (0..ops_per_core)
+                .map(|i| {
+                    let addr = base + (i as u64 % (4 << 14)) * 64;
+                    if i % 4 == 0 {
+                        Op::write(20, addr)
+                    } else {
+                        Op::read(20, addr)
+                    }
+                })
+                .collect();
+            VecTrace::new(ops)
+        })
+        .collect()
+}
+
+/// The paper's Figure 11 scenario: two cores touching *different words of
+/// the same line* (false sharing). Access reordering under SENSS timing
+/// can change hit/miss patterns without affecting correctness.
+pub fn false_sharing(ops_per_core: usize) -> Vec<VecTrace> {
+    let line = 0x9000_0000u64;
+    let cpu0 = (0..ops_per_core)
+        .map(|i| {
+            if i % 2 == 0 {
+                Op::write(15, line) // word 0
+            } else {
+                Op::read(25, line)
+            }
+        })
+        .collect();
+    let cpu1 = (0..ops_per_core)
+        .map(|i| {
+            if i % 3 == 0 {
+                Op::write(10, line + 8) // a different word, same line
+            } else {
+                Op::read(20, line + 8)
+            }
+        })
+        .collect();
+    vec![VecTrace::new(cpu0), VecTrace::new(cpu1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senss_sim::config::SystemConfig;
+    use senss_sim::extension::NullExtension;
+    use senss_sim::system::System;
+    use senss_sim::trace::TraceSource;
+
+    #[test]
+    fn ping_pong_maximizes_c2c() {
+        let mut sys = System::new(
+            SystemConfig::e6000(2, 1 << 20),
+            ping_pong(2, 200),
+            NullExtension,
+        );
+        let stats = sys.run();
+        assert!(
+            stats.c2c_fraction() > 0.5,
+            "ping-pong should be c2c dominated, got {}",
+            stats.c2c_fraction()
+        );
+    }
+
+    #[test]
+    fn private_stream_has_no_sharing() {
+        let mut sys = System::new(
+            SystemConfig::e6000(2, 1 << 20),
+            private_stream(2, 500),
+            NullExtension,
+        );
+        let stats = sys.run();
+        assert_eq!(stats.cache_to_cache_transfers, 0);
+        assert!(stats.memory_transfers > 0);
+    }
+
+    #[test]
+    fn false_sharing_bounces_the_line() {
+        let mut sys = System::new(
+            SystemConfig::e6000(2, 1 << 20),
+            false_sharing(200),
+            NullExtension,
+        );
+        let stats = sys.run();
+        // The line ping-pongs: upgrades and re-fetches appear even though
+        // the cores touch disjoint words.
+        assert!(stats.txn_upgrade + stats.txn_read_exclusive > 0);
+        assert!(stats.cache_to_cache_transfers > 0);
+    }
+
+    #[test]
+    fn trace_lengths_match() {
+        for t in ping_pong(3, 123) {
+            assert_eq!(t.len_hint(), Some(123));
+        }
+        for t in private_stream(2, 77) {
+            assert_eq!(t.len_hint(), Some(77));
+        }
+        for t in false_sharing(55) {
+            assert_eq!(t.len_hint(), Some(55));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! OCEAN-like workload: 2-D stencil sweeps with boundary exchange.
+//!
+//! SPLASH-2 OCEAN partitions the grid into per-processor strips; every
+//! relaxation sweep reads the neighbouring strips' boundary rows — which
+//! the neighbours wrote in the previous sweep — so each sweep begins with
+//! a predictable wave of dirty cache-to-cache transfers, followed by
+//! high-locality interior work.
+
+use crate::builder::{Region, TraceBuilder};
+use senss_sim::trace::VecTrace;
+
+/// Strip bytes per core (chosen so the working set stresses a 1 MB L2 but
+/// fits easily in 4 MB, giving the two paper configurations different
+/// behaviour).
+const STRIP_BYTES: u64 = 768 << 10;
+/// Lines on each strip boundary that neighbours exchange.
+const BOUNDARY_LINES: u64 = 32;
+/// Interior lines visited per sweep segment.
+const INTERIOR_LINES: u64 = 128;
+
+pub(crate) fn generate(cores: usize, ops_per_core: usize, seed: u64) -> Vec<VecTrace> {
+    let grid = Region::new(0x6000_0000, STRIP_BYTES * cores as u64);
+    (0..cores)
+        .map(|pid| {
+            let mut b = TraceBuilder::new(seed ^ 0x0CEA_0, pid);
+            let own = grid.strip(pid, cores);
+            let up = grid.strip((pid + cores - 1) % cores, cores);
+            let down = grid.strip((pid + 1) % cores, cores);
+            let mut sweep = 0u64;
+            while b.len() < ops_per_core {
+                // Boundary exchange: read neighbours' edge rows (they wrote
+                // them last sweep) and refresh our own edges.
+                if cores > 1 {
+                    for i in 0..BOUNDARY_LINES {
+                        b.read(up.line(up.lines() - BOUNDARY_LINES + i), 4, 12);
+                        b.read(down.line(i), 4, 12);
+                    }
+                }
+                for i in 0..BOUNDARY_LINES {
+                    b.write(own.line(i), 4, 12);
+                    b.write(own.line(own.lines() - BOUNDARY_LINES + i), 4, 12);
+                }
+                // Interior relaxation: walk a window with 5-point locality.
+                let window = (sweep * INTERIOR_LINES) % own.lines();
+                for i in 0..INTERIOR_LINES {
+                    let line = own.line(window + i);
+                    b.read(line, 10, 30);
+                    if b.chance(0.7) {
+                        b.write(line, 4, 10);
+                    }
+                }
+                sweep += 1;
+            }
+            b.build()
+        })
+        .collect()
+}

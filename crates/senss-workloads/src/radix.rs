@@ -1,0 +1,62 @@
+//! RADIX-sort-like workload: sequential key reads plus permutation scatter.
+//!
+//! SPLASH-2 RADIX is dominated by the permutation phase: each processor
+//! streams its local keys and writes them to essentially random positions
+//! in a large shared destination array. The destination is far larger than
+//! the L2, so the bus sees a high miss rate served almost entirely from
+//! memory — lots of traffic, little dirty sharing.
+
+use crate::builder::{Region, TraceBuilder};
+use senss_sim::trace::VecTrace;
+
+/// Local key bytes per core.
+const KEYS_BYTES: u64 = 512 << 10;
+/// Shared destination array: 2 MB — thrashes a 1 MB L2, fits a 4 MB one,
+/// giving the two paper configurations distinct behaviour.
+const DEST_BYTES: u64 = 2 << 20;
+/// Shared histogram (small and write-shared — the little true sharing
+/// radix has).
+const HIST_BYTES: u64 = 8 << 10;
+
+pub(crate) fn generate(cores: usize, ops_per_core: usize, seed: u64) -> Vec<VecTrace> {
+    let dest = Region::new(0x4000_0000, DEST_BYTES);
+    let hist = Region::new(0x4A00_0000, HIST_BYTES);
+    (0..cores)
+        .map(|pid| {
+            let mut b = TraceBuilder::new(seed ^ 0x4Ad1, pid);
+            let keys = Region::new(0x5000_0000 + pid as u64 * KEYS_BYTES, KEYS_BYTES);
+            let mut cursor = 0u64;
+            while b.len() < ops_per_core {
+                // Histogram pass: stream keys, occasionally bump a shared
+                // counter (the little true sharing radix has).
+                for _ in 0..8 {
+                    b.read(keys.line(cursor), 10, 30);
+                    cursor += 1;
+                    if b.chance(0.1) {
+                        let bucket = b.below(hist.lines());
+                        b.access(hist.line(bucket), 0.6, 5, 15);
+                    }
+                }
+                // Permutation pass: mostly key streaming with periodic
+                // random scatters into the shared destination.
+                for i in 0..16 {
+                    b.read(keys.line(cursor), 10, 30);
+                    cursor += 1;
+                    if i % 2 == 0 {
+                        // Keys scatter mostly into this core's digit range
+                        // (real radix destinations are contiguous per
+                        // digit), with a tail of truly remote writes.
+                        let own = dest.strip(pid, cores);
+                        let target = if b.chance(0.9) {
+                            own.line(b.below(own.lines()))
+                        } else {
+                            dest.line(b.below(dest.lines()))
+                        };
+                        b.write(target, 10, 30);
+                    }
+                }
+            }
+            b.build()
+        })
+        .collect()
+}

@@ -1,0 +1,235 @@
+//! Functional SENSS bus encryption with a multi-mask chain (§4.2, §4.4).
+//!
+//! The value placed on the bus for data block `D` is `P = D ⊕ mask`; the
+//! consumed mask is then regenerated in the background as
+//! `mask' = AES_K(P ⊕ PID)` (Figure 2 feeds both the bus value and the
+//! originating PID into the AES). With `k` masks, message number `n` uses
+//! mask `n mod k` (§4.4's odd/even pair generalized), so back-to-back
+//! messages never wait on a single in-flight regeneration.
+//!
+//! Every group member holds an identical [`MaskChain`] and observes every
+//! message (snooping bus), so all copies advance in lock-step. The
+//! *timing* of mask availability is modelled separately by
+//! [`crate::mask::MaskArray`]; this module computes the values.
+
+use senss_crypto::aes::Aes;
+use senss_crypto::Block;
+
+/// A group's synchronized multi-mask encryption chain.
+///
+/// # Example
+///
+/// ```
+/// use senss::busenc::MaskChain;
+/// use senss_crypto::aes::Aes;
+/// use senss_crypto::Block;
+///
+/// let aes = Aes::new_128(&[1u8; 16]);
+/// let c0 = Block::from([7u8; 16]);
+/// let mut sender = MaskChain::new(aes.clone(), c0, 2);
+/// let mut receiver = MaskChain::new(aes, c0, 2);
+/// let data = Block::from([9u8; 16]);
+/// let p = sender.encrypt(data, 0);
+/// assert_eq!(receiver.decrypt(p, 0), data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaskChain {
+    aes: Aes,
+    masks: Vec<Block>,
+    seq: u64,
+}
+
+impl MaskChain {
+    /// Creates a chain of `num_masks` masks derived from the group's
+    /// initial vector `c0` (mask `i` starts as `AES(c0 ⊕ i)` so the masks
+    /// are independent but all members derive the same set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_masks` is zero.
+    pub fn new(aes: Aes, c0: Block, num_masks: usize) -> MaskChain {
+        assert!(num_masks > 0, "need at least one mask");
+        let masks = (0..num_masks as u64)
+            .map(|i| aes.encrypt_block(c0 ^ Block::from_words(i, 0)))
+            .collect();
+        MaskChain { aes, masks, seq: 0 }
+    }
+
+    /// Number of masks.
+    pub fn num_masks(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Messages processed so far (the group-wide total order).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The mask the next message will use (for tests/inspection).
+    pub fn current_mask(&self) -> Block {
+        self.masks[(self.seq % self.masks.len() as u64) as usize]
+    }
+
+    fn advance(&mut self, p: Block, pid: u32) {
+        let idx = (self.seq % self.masks.len() as u64) as usize;
+        self.masks[idx] = self.aes.encrypt_block(p ^ Block::from_words(pid as u64, 0));
+        self.seq += 1;
+    }
+
+    /// Sender side: encrypts `data` originating from `pid`, returning the
+    /// bus value `P` and advancing the chain.
+    pub fn encrypt(&mut self, data: Block, pid: u32) -> Block {
+        let p = data ^ self.current_mask();
+        self.advance(p, pid);
+        p
+    }
+
+    /// Receiver side: decrypts bus value `p` tagged with `pid`, advancing
+    /// the chain identically to the sender.
+    pub fn decrypt(&mut self, p: Block, pid: u32) -> Block {
+        let data = p ^ self.current_mask();
+        self.advance(p, pid);
+        data
+    }
+
+    /// Encrypts a multi-block payload (e.g. a 64 B line = 4 blocks). The
+    /// chain advances once per block — each bus beat is a block (§4.3).
+    pub fn encrypt_payload(&mut self, data: &[Block], pid: u32) -> Vec<Block> {
+        data.iter().map(|&d| self.encrypt(d, pid)).collect()
+    }
+
+    /// Decrypts a multi-block payload.
+    pub fn decrypt_payload(&mut self, p: &[Block], pid: u32) -> Vec<Block> {
+        p.iter().map(|&b| self.decrypt(b, pid)).collect()
+    }
+
+    /// Snapshots the chain (masks + sequence) for an encrypted context
+    /// swap-out (§4.2). Secret material — encrypt before writing out.
+    pub fn snapshot(&self) -> (Vec<Block>, u64) {
+        (self.masks.clone(), self.seq)
+    }
+
+    /// Restores a chain from a snapshot taken by
+    /// [`MaskChain::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` is empty.
+    pub fn resume(aes: Aes, masks: Vec<Block>, seq: u64) -> MaskChain {
+        assert!(!masks.is_empty(), "need at least one mask");
+        MaskChain { aes, masks, seq }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aes() -> Aes {
+        Aes::new_128(&[0x21; 16])
+    }
+
+    fn c0() -> Block {
+        Block::from([0x5c; 16])
+    }
+
+    #[test]
+    fn lock_step_over_many_messages() {
+        for k in [1usize, 2, 4, 8] {
+            let mut s = MaskChain::new(aes(), c0(), k);
+            let mut r = MaskChain::new(aes(), c0(), k);
+            for i in 0..100u8 {
+                let d = Block::from([i; 16]);
+                let p = s.encrypt(d, u32::from(i % 4));
+                assert_eq!(r.decrypt(p, u32::from(i % 4)), d, "k={k} msg={i}");
+            }
+            assert_eq!(s.seq(), 100);
+        }
+    }
+
+    #[test]
+    fn repeated_data_yields_fresh_ciphertext() {
+        let mut s = MaskChain::new(aes(), c0(), 2);
+        let d = Block::from([0xAA; 16]);
+        let p1 = s.encrypt(d, 0);
+        let p2 = s.encrypt(d, 0);
+        let p3 = s.encrypt(d, 0);
+        assert_ne!(p1, p2);
+        assert_ne!(p2, p3);
+        // With 2 masks, message 3 reuses mask slot 0 — but its value was
+        // regenerated, so ciphertext still differs from message 1.
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn xor_of_two_ciphertexts_leaks_nothing_useful() {
+        // The §3.1 attack XORs two ciphertexts of the same slot hoping for
+        // D ⊕ D'. Chained masks change every use, so the XOR is masked by
+        // the (secret) mask difference.
+        let mut s = MaskChain::new(aes(), c0(), 1);
+        let d1 = Block::from([0x11; 16]);
+        let d2 = Block::from([0x22; 16]);
+        let p1 = s.encrypt(d1, 0);
+        let p2 = s.encrypt(d2, 0);
+        assert_ne!(p1 ^ p2, d1 ^ d2, "static-pad leak must not appear");
+    }
+
+    #[test]
+    fn pid_feeds_the_mask_update() {
+        // Same data, same slot, different claimed originator ⇒ chains
+        // diverge (the hook Type 3 detection relies on).
+        let mut a = MaskChain::new(aes(), c0(), 1);
+        let mut b = MaskChain::new(aes(), c0(), 1);
+        let d = Block::from([0x77; 16]);
+        a.encrypt(d, 0);
+        b.encrypt(d, 1);
+        assert_ne!(a.current_mask(), b.current_mask());
+        // ... and the divergence shows on the next message.
+        let pa = a.encrypt(d, 2);
+        let pb = b.encrypt(d, 2);
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let mut s = MaskChain::new(aes(), c0(), 4);
+        let mut r = MaskChain::new(aes(), c0(), 4);
+        let line: Vec<Block> = (0..4u8).map(|i| Block::from([i; 16])).collect();
+        let wire = s.encrypt_payload(&line, 3);
+        assert_eq!(r.decrypt_payload(&wire, 3), line);
+        assert_eq!(s.seq(), 4);
+        assert_eq!(r.seq(), 4);
+    }
+
+    #[test]
+    fn different_c0_different_traces() {
+        // §4.2 initialization: every invocation draws a fresh C0.
+        let mut a = MaskChain::new(aes(), Block::from([1; 16]), 2);
+        let mut b = MaskChain::new(aes(), Block::from([2; 16]), 2);
+        let d = Block::from([0x42; 16]);
+        assert_ne!(a.encrypt(d, 0), b.encrypt(d, 0));
+    }
+
+    #[test]
+    fn desync_breaks_decryption() {
+        // A receiver that missed a message (Type 1 drop) decrypts garbage
+        // from then on.
+        let mut s = MaskChain::new(aes(), c0(), 2);
+        let mut r = MaskChain::new(aes(), c0(), 2);
+        let d1 = Block::from([1; 16]);
+        let d2 = Block::from([2; 16]);
+        let d3 = Block::from([3; 16]);
+        let _dropped = s.encrypt(d1, 0);
+        let p2 = s.encrypt(d2, 0);
+        let p3 = s.encrypt(d3, 0);
+        // Receiver never saw p1: masks now disagree for slot 0 (and seq).
+        assert_ne!(r.decrypt(p2, 0), d2);
+        assert_ne!(r.decrypt(p3, 0), d3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mask")]
+    fn zero_masks_rejected() {
+        MaskChain::new(aes(), c0(), 0);
+    }
+}

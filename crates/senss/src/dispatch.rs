@@ -1,0 +1,300 @@
+//! Program dispatch and key distribution (§4.1, Figure 1).
+//!
+//! The program distributor encrypts the program with a symmetric session
+//! key `K`, then encrypts `K` under the public key of **each** processor
+//! in the chosen *group* (a trusted subset of the machine's processors),
+//! and ships the bundle. Each member decrypts its copy of `K` with its
+//! sealed private key and installs it in the SHU's group information
+//! table; non-members cannot recover `K`.
+//!
+//! The distributor may exclude processors it distrusts (the paper's
+//! example: processors dedicated to the network stack).
+
+use crate::group::{GroupId, ProcessorId};
+use senss_crypto::aes::Aes;
+use senss_crypto::cbc::{CbcDecryptor, CbcEncryptor};
+use senss_crypto::rsa::{KeyPair, PublicKey};
+use senss_crypto::{Block, CryptoError};
+
+/// A processor's sealed identity: the key pair plus its PID.
+#[derive(Debug, Clone)]
+pub struct ProcessorIdentity {
+    /// This processor's id.
+    pub pid: ProcessorId,
+    keys: KeyPair,
+}
+
+impl ProcessorIdentity {
+    /// Manufactures a processor identity (deterministic from the PID and a
+    /// platform seed — each processor gets a distinct pair, preventing the
+    /// cascading breakdown of a shared key).
+    pub fn manufacture(pid: ProcessorId, platform_seed: u64) -> ProcessorIdentity {
+        ProcessorIdentity {
+            pid,
+            keys: KeyPair::generate(platform_seed ^ (0xC0FFEE << 8) ^ pid.value() as u64),
+        }
+    }
+
+    /// The shareable public key.
+    pub fn public_key(&self) -> PublicKey {
+        self.keys.public
+    }
+}
+
+/// The dispatched bundle: encrypted program + per-member wrapped keys.
+#[derive(Debug, Clone)]
+pub struct ProgramPackage {
+    /// Ciphertext of the program image (CBC under the session key).
+    pub encrypted_program: Vec<u8>,
+    /// The CBC initial vector for the program image.
+    pub program_iv: Block,
+    /// `(pid, K wrapped under pid's public key)` for every group member.
+    pub wrapped_keys: Vec<(ProcessorId, Vec<u8>)>,
+}
+
+/// The program distributor.
+#[derive(Debug, Clone)]
+pub struct Distributor {
+    session_key: [u8; 16],
+}
+
+impl Distributor {
+    /// Creates a distributor holding a session key.
+    pub fn new(session_key: [u8; 16]) -> Distributor {
+        Distributor { session_key }
+    }
+
+    /// Encrypts `program` (padded to a block multiple internally) and
+    /// wraps the session key for each `(pid, public key)` group member.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RSA wrapping errors.
+    pub fn dispatch(
+        &self,
+        program: &[u8],
+        members: &[(ProcessorId, PublicKey)],
+        iv: Block,
+    ) -> Result<ProgramPackage, CryptoError> {
+        let mut padded = program.to_vec();
+        // Length-prefixed zero padding to a 16-byte boundary.
+        let orig_len = padded.len() as u64;
+        padded.splice(0..0, orig_len.to_le_bytes());
+        while padded.len() % 16 != 0 {
+            padded.push(0);
+        }
+        let mut enc = CbcEncryptor::new(Aes::new_128(&self.session_key), iv);
+        let encrypted_program = enc.encrypt(&padded)?;
+        let mut wrapped_keys = Vec::with_capacity(members.len());
+        for (pid, pubkey) in members {
+            wrapped_keys.push((*pid, pubkey.encrypt(&self.session_key)?));
+        }
+        Ok(ProgramPackage {
+            encrypted_program,
+            program_iv: iv,
+            wrapped_keys,
+        })
+    }
+}
+
+/// Errors a processor can hit unpacking a program package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnpackError {
+    /// This processor is not among the package's group members.
+    NotAMember,
+    /// Cryptographic failure (wrong key, malformed package).
+    Crypto(CryptoError),
+    /// The decrypted image is malformed (bad length header).
+    Malformed,
+}
+
+impl std::fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnpackError::NotAMember => write!(f, "processor is not a member of the group"),
+            UnpackError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+            UnpackError::Malformed => write!(f, "decrypted program image is malformed"),
+        }
+    }
+}
+
+impl std::error::Error for UnpackError {}
+
+impl From<CryptoError> for UnpackError {
+    fn from(e: CryptoError) -> UnpackError {
+        UnpackError::Crypto(e)
+    }
+}
+
+impl ProcessorIdentity {
+    /// Recovers the session key from a package (members only).
+    ///
+    /// # Errors
+    ///
+    /// [`UnpackError::NotAMember`] if the package has no wrapped key for
+    /// this PID; [`UnpackError::Crypto`] on malformed ciphertext.
+    pub fn recover_session_key(&self, pkg: &ProgramPackage) -> Result<[u8; 16], UnpackError> {
+        let wrapped = pkg
+            .wrapped_keys
+            .iter()
+            .find(|(pid, _)| *pid == self.pid)
+            .map(|(_, w)| w)
+            .ok_or(UnpackError::NotAMember)?;
+        let key = self.keys.private.decrypt(wrapped)?;
+        key.as_slice()
+            .try_into()
+            .map_err(|_| UnpackError::Malformed)
+    }
+
+    /// Decrypts the program image using a recovered session key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crypto errors; [`UnpackError::Malformed`] if the length
+    /// header is inconsistent.
+    pub fn decrypt_program(
+        &self,
+        pkg: &ProgramPackage,
+        session_key: &[u8; 16],
+    ) -> Result<Vec<u8>, UnpackError> {
+        let mut dec = CbcDecryptor::new(Aes::new_128(session_key), pkg.program_iv);
+        let padded = dec.decrypt(&pkg.encrypted_program)?;
+        if padded.len() < 8 {
+            return Err(UnpackError::Malformed);
+        }
+        let len = u64::from_le_bytes(padded[..8].try_into().expect("8 bytes")) as usize;
+        if len > padded.len() - 8 {
+            return Err(UnpackError::Malformed);
+        }
+        Ok(padded[8..8 + len].to_vec())
+    }
+}
+
+/// Convenience: the GID assignment + key install flow for a whole group.
+/// Returns the session key each member recovered.
+///
+/// # Errors
+///
+/// Fails if any member cannot unwrap its key.
+pub fn install_group(
+    gid: GroupId,
+    pkg: &ProgramPackage,
+    identities: &[ProcessorIdentity],
+    tables: &mut [crate::shu::GroupInfoTable],
+) -> Result<Vec<[u8; 16]>, UnpackError> {
+    let mut keys = Vec::new();
+    for (id, table) in identities.iter().zip(tables.iter_mut()) {
+        // Every processor reserves the GID (occupied bit), members install
+        // the secrets.
+        table.occupy(gid);
+        match id.recover_session_key(pkg) {
+            Ok(k) => {
+                table.install_secrets(gid, k, Vec::new());
+                keys.push(k);
+            }
+            Err(UnpackError::NotAMember) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shu::GroupInfoTable;
+
+    fn identities(n: u8) -> Vec<ProcessorIdentity> {
+        (0..n)
+            .map(|i| ProcessorIdentity::manufacture(ProcessorId::new(i), 0xFEED))
+            .collect()
+    }
+
+    #[test]
+    fn members_recover_the_key_and_program() {
+        let ids = identities(3);
+        let members: Vec<_> = ids.iter().map(|i| (i.pid, i.public_key())).collect();
+        let dist = Distributor::new([0xAB; 16]);
+        let program = b"secure workload image, arbitrary length".to_vec();
+        let pkg = dist
+            .dispatch(&program, &members, Block::from([1; 16]))
+            .unwrap();
+        assert_ne!(pkg.encrypted_program, program);
+        for id in &ids {
+            let k = id.recover_session_key(&pkg).unwrap();
+            assert_eq!(k, [0xAB; 16]);
+            assert_eq!(id.decrypt_program(&pkg, &k).unwrap(), program);
+        }
+    }
+
+    #[test]
+    fn non_members_are_locked_out() {
+        let ids = identities(4);
+        // Only processors 0 and 1 are in the group.
+        let members: Vec<_> = ids[..2].iter().map(|i| (i.pid, i.public_key())).collect();
+        let pkg = Distributor::new([7; 16])
+            .dispatch(b"image", &members, Block::ZERO)
+            .unwrap();
+        assert_eq!(
+            ids[2].recover_session_key(&pkg),
+            Err(UnpackError::NotAMember)
+        );
+        assert_eq!(
+            ids[3].recover_session_key(&pkg),
+            Err(UnpackError::NotAMember)
+        );
+    }
+
+    #[test]
+    fn wrong_session_key_garbles_program() {
+        let ids = identities(1);
+        let members = vec![(ids[0].pid, ids[0].public_key())];
+        let pkg = Distributor::new([1; 16])
+            .dispatch(b"the-real-image!!", &members, Block::ZERO)
+            .unwrap();
+        let out = ids[0].decrypt_program(&pkg, &[2; 16]);
+        match out {
+            Ok(bytes) => assert_ne!(bytes, b"the-real-image!!".to_vec()),
+            Err(UnpackError::Malformed) => {}
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_processors_have_distinct_keys() {
+        let ids = identities(2);
+        assert_ne!(ids[0].public_key(), ids[1].public_key());
+    }
+
+    #[test]
+    fn install_group_reserves_everywhere_installs_members_only() {
+        let ids = identities(3);
+        let members: Vec<_> = ids[..2].iter().map(|i| (i.pid, i.public_key())).collect();
+        let pkg = Distributor::new([5; 16])
+            .dispatch(b"img", &members, Block::ZERO)
+            .unwrap();
+        let mut tables: Vec<GroupInfoTable> = (0..3).map(|_| GroupInfoTable::new(8)).collect();
+        let gid = GroupId::new(42);
+        let keys = install_group(gid, &pkg, &ids, &mut tables).unwrap();
+        assert_eq!(keys.len(), 2);
+        // All three reserved the GID…
+        for t in &tables {
+            assert!(t.get(gid).is_some());
+        }
+        // …but only members hold the key.
+        assert!(tables[0].get(gid).unwrap().session_key.is_some());
+        assert!(tables[1].get(gid).unwrap().session_key.is_some());
+        assert!(tables[2].get(gid).unwrap().session_key.is_none());
+    }
+
+    #[test]
+    fn empty_program_roundtrips() {
+        let ids = identities(1);
+        let members = vec![(ids[0].pid, ids[0].public_key())];
+        let pkg = Distributor::new([3; 16])
+            .dispatch(b"", &members, Block::ZERO)
+            .unwrap();
+        let k = ids[0].recover_session_key(&pkg).unwrap();
+        assert_eq!(ids[0].decrypt_program(&pkg, &k).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,130 @@
+//! Group and processor identities, and message tagging (§4.1).
+//!
+//! Every bus message in SENSS is tagged by the SHU with the originating
+//! processor id (PID) and the group id (GID) of the application it belongs
+//! to, so that (a) each processor only picks up messages of groups it is a
+//! member of, and (b) the authentication algorithm can bind each message
+//! to its originator. The paper budgets 10 bits of GID (1024 simultaneous
+//! groups) and reuses the bus's existing source-id lines for the PID.
+
+use std::fmt;
+
+/// Maximum number of simultaneously active groups (10-bit GID, §7.1).
+pub const MAX_GROUPS: usize = 1024;
+
+/// Maximum number of processors on the bus (§7.1 sizes tables for 32).
+pub const MAX_PROCESSORS: usize = 32;
+
+/// A group identifier (10 bits on the augmented bus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(u16);
+
+impl GroupId {
+    /// Creates a group id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= MAX_GROUPS`.
+    pub fn new(id: u16) -> GroupId {
+        assert!((id as usize) < MAX_GROUPS, "GID must be below {MAX_GROUPS}");
+        GroupId(id)
+    }
+
+    /// The raw 10-bit value.
+    pub fn value(self) -> u16 {
+        self.0
+    }
+
+    /// Index form for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// A processor identifier (the bus's source id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessorId(u8);
+
+impl ProcessorId {
+    /// Creates a processor id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= MAX_PROCESSORS`.
+    pub fn new(id: u8) -> ProcessorId {
+        assert!(
+            (id as usize) < MAX_PROCESSORS,
+            "PID must be below {MAX_PROCESSORS}"
+        );
+        ProcessorId(id)
+    }
+
+    /// The raw value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Index form for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The (GID, PID) tag the SHU attaches to every bus message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MessageTag {
+    /// Owning group.
+    pub gid: GroupId,
+    /// Originating processor.
+    pub pid: ProcessorId,
+}
+
+impl fmt::Display for MessageTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.gid, self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_construct_and_display() {
+        let g = GroupId::new(17);
+        let p = ProcessorId::new(3);
+        assert_eq!(g.value(), 17);
+        assert_eq!(p.value(), 3);
+        assert_eq!(format!("{}", MessageTag { gid: g, pid: p }), "G17:P3");
+    }
+
+    #[test]
+    #[should_panic(expected = "GID")]
+    fn gid_range_checked() {
+        GroupId::new(1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "PID")]
+    fn pid_range_checked() {
+        ProcessorId::new(32);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(GroupId::new(1) < GroupId::new(2));
+        assert!(ProcessorId::new(0) < ProcessorId::new(31));
+    }
+}

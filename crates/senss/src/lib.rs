@@ -1,0 +1,69 @@
+//! **SENSS** — Security ENhancement to Symmetric Shared-memory
+//! multiprocessor Systems (HPCA 2005), reproduced in Rust.
+//!
+//! On an SMP, the uniprocessor secure-processor model (XOM/AEGIS-style
+//! memory encryption + integrity trees) leaves one channel exposed: the
+//! **cache-to-cache transfers** that the snooping coherence protocol puts
+//! on the shared bus in cleartext. SENSS closes it with two mechanisms:
+//!
+//! * **Bus encryption** ([`busenc`], [`mask`]): every transfer is XORed
+//!   with a *mask* — the previous AES output in a CBC-style chain — so
+//!   encryption costs one XOR on the critical path while the AES runs in
+//!   the background. Multiple masks ([`mask::MaskArray`]) hide the AES
+//!   latency under back-to-back transfers (§4.4).
+//! * **Bus authentication** ([`auth`]): all group members fold every
+//!   transfer (data + originating PID) into a chained CBC-MAC and
+//!   periodically compare MACs on the bus. The chain remembers the whole
+//!   history, so dropping (Type 1), reordering (Type 2) and spoofing
+//!   (Type 3) attacks are all caught — including ones invisible to
+//!   per-message MAC schemes (§4.3).
+//!
+//! Around these sit the SHU hardware model ([`shu`]), group management and
+//! message tagging ([`group`]), program dispatch ([`dispatch`]), the
+//! functional bus fabric attacked in `senss-attacks` ([`fabric`]), and the
+//! simulator timing layer ([`secure_bus`]) that regenerates the paper's
+//! figures together with `senss-sim`, `senss-workloads` and
+//! `senss-memprot`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use senss::prelude::*;
+//! use senss_sim::{System, SystemConfig};
+//! use senss_workloads::Workload;
+//!
+//! // An insecure baseline and a SENSS run of the same workload:
+//! let cfg = SystemConfig::e6000(2, 1 << 20);
+//! let base = System::new(cfg.clone(), Workload::Ocean.generate(2, 2_000, 1),
+//!                        senss_sim::NullExtension).run();
+//! let senss = System::new(cfg, Workload::Ocean.generate(2, 2_000, 1),
+//!                         SenssExtension::new(SenssConfig::paper_default(2))).run();
+//! println!("slowdown: {:.2}%", senss.slowdown_vs(&base));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod auth;
+pub mod busenc;
+pub mod dispatch;
+pub mod fabric;
+pub mod gcm_fabric;
+pub mod group;
+pub mod mask;
+pub mod secure_bus;
+pub mod shu;
+
+/// The most commonly used types, re-exported.
+pub mod prelude {
+    pub use crate::auth::{AuthEngine, AuthOutcome, AuthSchedule};
+    pub use crate::busenc::MaskChain;
+    pub use crate::fabric::{Alarm, AlarmReason, BusMessage, GroupFabric};
+    pub use crate::gcm_fabric::{GcmDeliveryError, GcmFabric, GcmMessage};
+    pub use crate::group::{GroupId, MessageTag, ProcessorId};
+    pub use crate::mask::{MaskArray, PERFECT_MASKS};
+    pub use crate::secure_bus::{CipherMode, SenssConfig, SenssExtension, SenssStats};
+    pub use crate::shu::{BitMatrix, GroupInfoTable};
+}
+
+pub use prelude::*;

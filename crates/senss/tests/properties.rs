@@ -1,0 +1,139 @@
+//! Property-based tests of the SENSS security layer.
+
+use proptest::prelude::*;
+use senss::auth::AuthOutcome;
+use senss::busenc::MaskChain;
+use senss::fabric::GroupFabric;
+use senss::group::{GroupId, ProcessorId};
+use senss::mask::MaskArray;
+use senss_crypto::aes::Aes;
+use senss_crypto::Block;
+
+fn block() -> impl Strategy<Value = Block> {
+    proptest::array::uniform16(any::<u8>()).prop_map(Block::from)
+}
+
+fn key16() -> impl Strategy<Value = [u8; 16]> {
+    proptest::array::uniform16(any::<u8>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All group members recover every payload for any member count, mask
+    /// count and message mix.
+    #[test]
+    fn fabric_roundtrips_arbitrary_traffic(
+        key in key16(),
+        n in 2u8..6,
+        masks in 1usize..9,
+        msgs in proptest::collection::vec((any::<u8>(), proptest::collection::vec(block(), 1..5)), 1..30),
+    ) {
+        let mut f = GroupFabric::new(
+            GroupId::new(1),
+            (0..n).map(ProcessorId::new).collect(),
+            &key,
+            Block::from([1; 16]),
+            Block::from([2; 16]),
+            masks,
+            7,
+            64,
+        );
+        for (s, payload) in msgs {
+            let sender = ProcessorId::new(s % n);
+            for (_, got) in f.broadcast(sender, &payload) {
+                prop_assert_eq!(&got, &payload);
+            }
+        }
+        prop_assert!(!f.is_halted(), "clean traffic must not alarm");
+    }
+
+    /// Dropping any single message from any single receiver is detected
+    /// at the next authentication round.
+    #[test]
+    fn any_single_drop_is_detected(
+        key in key16(),
+        msgs in proptest::collection::vec(block(), 1..20),
+        drop_at in any::<usize>(),
+    ) {
+        let n = 3u8;
+        let drop_idx = drop_at % msgs.len();
+        let victim = ProcessorId::new(2);
+        let mut f = GroupFabric::new(
+            GroupId::new(2),
+            (0..n).map(ProcessorId::new).collect(),
+            &key,
+            Block::from([3; 16]),
+            Block::from([4; 16]),
+            2,
+            1_000_000,
+            128,
+        );
+        let sender = ProcessorId::new(0);
+        for (i, &d) in msgs.iter().enumerate() {
+            let m = f.send(sender, &[d]);
+            f.deliver(&m, ProcessorId::new(1));
+            if i != drop_idx {
+                f.deliver(&m, victim);
+            }
+        }
+        match f.run_auth_round(sender) {
+            AuthOutcome::AlarmRaised { dissenting, .. } => {
+                prop_assert!(dissenting.contains(&victim));
+            }
+            AuthOutcome::Consistent => prop_assert!(false, "drop went undetected"),
+        }
+    }
+
+    /// Mask chains in lock-step decrypt correctly for any mask count and
+    /// any pid sequence.
+    #[test]
+    fn mask_chain_lockstep(
+        key in key16(), c0 in block(), k in 1usize..10,
+        traffic in proptest::collection::vec((any::<u32>(), block()), 1..50),
+    ) {
+        let mut s = MaskChain::new(Aes::new_128(&key), c0, k);
+        let mut r = MaskChain::new(Aes::new_128(&key), c0, k);
+        for (pid, d) in traffic {
+            let p = s.encrypt(d, pid);
+            prop_assert_eq!(r.decrypt(p, pid), d);
+        }
+    }
+
+    /// Mask timing: total stall is zero whenever the inter-arrival gap
+    /// times the mask count covers the AES latency.
+    #[test]
+    fn mask_array_stall_bound(k in 1u64..12, gap in 1u64..40) {
+        let latency = 80u64;
+        let mut arr = MaskArray::new(k as usize, latency, 10);
+        let mut total = 0;
+        for i in 0..200 {
+            total += arr.acquire(i * gap);
+        }
+        if k * gap >= latency && gap >= 10 {
+            prop_assert_eq!(total, 0, "k={} gap={} should never stall", k, gap);
+        }
+    }
+
+    /// Stalls are bounded by the AES latency plus the pipeline backlog
+    /// (queueing theory bound: each earlier acquisition adds at most one
+    /// initiation interval), and the array's accounting matches the sum
+    /// of returned stalls.
+    #[test]
+    fn mask_stall_bounded_by_backlog(k in 1usize..10, times in proptest::collection::vec(0u64..50, 1..80)) {
+        let mut arr = MaskArray::new(k, 80, 10);
+        let mut now = 0u64;
+        let mut total = 0u64;
+        for (i, dt) in times.iter().enumerate() {
+            now += dt;
+            let stall = arr.acquire(now);
+            prop_assert!(
+                stall <= 80 * (i as u64 + 1),
+                "stall {} exceeds cumulative latency bound at step {}", stall, i
+            );
+            total += stall;
+        }
+        prop_assert_eq!(arr.total_stall(), total);
+        prop_assert_eq!(arr.acquisitions(), times.len() as u64);
+    }
+}

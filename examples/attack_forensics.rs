@@ -1,0 +1,68 @@
+//! Attack forensics: run every adversary from §3 against the secure bus.
+//!
+//! For each attack the report shows whether SENSS's chained
+//! authentication caught it and whether a per-message MAC baseline (Shi
+//! et al.-style) would have — reproducing the paper's §4.3 security
+//! arguments as executable scenarios. Also demonstrates the §3.1
+//! pad-reuse confidentiality break.
+//!
+//! ```sh
+//! cargo run -p senss-bench --example attack_forensics
+//! ```
+
+use senss_attacks::{pad_reuse, scenarios};
+use senss_crypto::Block;
+
+fn main() {
+    println!("=== §3.1 pad-reuse break (why memory pads can't secure the bus) ===\n");
+    let d = Block::from([0x13; 16]);
+    let d_prime = Block::from([0x37; 16]);
+    let r = pad_reuse::run(d, d_prime);
+    println!("observer XOR of naive ciphertexts : {}", r.naive_leak);
+    println!("true D xor D'                     : {}", r.true_xor);
+    println!(
+        "naive scheme broken               : {}",
+        r.naive_scheme_broken()
+    );
+    println!(
+        "SENSS chained masks resist        : {} (observer sees {})",
+        r.senss_resists(),
+        r.senss_observation
+    );
+
+    println!("\n=== §3.2 / §4.3 bus attacks ===\n");
+    println!(
+        "{:<26} {:>8} {:>10}   detail",
+        "attack", "SENSS", "baseline"
+    );
+    println!("{}", "-".repeat(100));
+    for report in scenarios::all() {
+        println!(
+            "{:<26} {:>8} {:>10}   {}",
+            report.name,
+            if report.detected_by_senss {
+                "DETECTED"
+            } else {
+                "missed"
+            },
+            if report.detected_by_baseline {
+                "detected"
+            } else {
+                "MISSED"
+            },
+            truncate(&report.detail, 60),
+        );
+    }
+    println!(
+        "\nSENSS detects all six; the non-chained baseline misses drops, subset spoofs and replays."
+    );
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n).collect();
+        format!("{cut}…")
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: measure what SENSS costs on a small SMP.
+//!
+//! Builds the paper's 4-processor, 1 MB-L2 machine, runs the `ocean`
+//! workload on an insecure baseline and on SENSS at the highest security
+//! level (authentication every cache-to-cache transfer), and prints the
+//! headline numbers.
+//!
+//! ```sh
+//! cargo run -p senss-bench --example quickstart
+//! ```
+
+use senss::prelude::*;
+use senss_sim::{NullExtension, System, SystemConfig};
+use senss_workloads::Workload;
+
+fn main() {
+    let cores = 4;
+    let ops = 10_000;
+    let cfg = SystemConfig::e6000(cores, 1 << 20);
+    println!("{}", cfg.figure5_table());
+
+    // Insecure baseline.
+    let traces = Workload::Ocean.generate(cores, ops, 42);
+    let base = System::new(cfg.clone(), traces, NullExtension).run();
+
+    // SENSS at maximum security: authenticate every transfer, 8 masks.
+    let security = SenssConfig::paper_default(cores).with_auth_interval(1);
+    let traces = Workload::Ocean.generate(cores, ops, 42);
+    let mut system = System::new(cfg, traces, SenssExtension::new(security));
+    let secured = system.run();
+
+    println!("ocean on 4 processors, {ops} references/core\n");
+    println!(
+        "  baseline : {:>10} cycles, {:>6} bus transactions ({} c2c)",
+        base.total_cycles,
+        base.total_transactions(),
+        base.cache_to_cache_transfers
+    );
+    println!(
+        "  SENSS    : {:>10} cycles, {:>6} bus transactions ({} auth)",
+        secured.total_cycles,
+        secured.total_transactions(),
+        secured.txn_auth
+    );
+    println!(
+        "\n  slowdown          : {:+.3}%",
+        secured.slowdown_vs(&base)
+    );
+    println!(
+        "  bus traffic extra : {:+.2}%",
+        secured.bus_increase_vs(&base)
+    );
+    println!(
+        "  mask stalls       : {} cycles over {} secured transfers",
+        secured.mask_stall_cycles,
+        system.extension().stats().secured_transfers
+    );
+
+    let (lines, extra, pct) = SenssExtension::extra_bus_lines();
+    println!("\nhardware: +{extra} bus lines over {lines} ({pct:.1}%), SHU tables ≈149 KB");
+}

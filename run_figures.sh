@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure/table into results/ (text + CSV).
+set -euo pipefail
+cd "$(dirname "$0")"
+export SENSS_OPS="${SENSS_OPS:-30000}" SENSS_SEED="${SENSS_SEED:-42}" SENSS_CSV=1
+mkdir -p results
+for b in hw_overhead fig06_slowdown fig07_masks fig08_traffic fig09_interval \
+         fig10_integrated fig11_variability coherence_protocols scaling_study; do
+  echo "== $b =="
+  cargo run --release -q -p senss-bench --bin "$b" | tee "results/$b.txt"
+done

@@ -1,0 +1,120 @@
+//! Integration + property tests of the MESI snooping protocol under the
+//! simulator, including randomized traces (proptest).
+
+use proptest::prelude::*;
+use senss_sim::trace::{Op, VecTrace};
+use senss_sim::{NullExtension, System, SystemConfig};
+
+fn cfg(n: usize) -> SystemConfig {
+    SystemConfig::e6000(n, 1 << 20)
+}
+
+#[test]
+fn producer_consumer_chain_across_four_cores() {
+    // P0 writes, P1..P3 read in a staggered chain: each read after the
+    // write must be a dirty c2c transfer (first reader) or memory/shared
+    // fill, and no data is lost.
+    let line = 0xA000u64;
+    let traces = vec![
+        VecTrace::new(vec![Op::write(0, line)]),
+        VecTrace::new(vec![Op::read(500, line)]),
+        VecTrace::new(vec![Op::read(1000, line)]),
+        VecTrace::new(vec![Op::read(1500, line)]),
+    ];
+    let stats = System::new(cfg(4), traces, NullExtension).run();
+    assert_eq!(stats.cache_to_cache_transfers, 1, "only the first read hits dirty data");
+    assert_eq!(stats.txn_read, 3);
+    assert_eq!(stats.txn_read_exclusive, 1);
+}
+
+#[test]
+fn migratory_sharing_ping_pong() {
+    // A line migrating between two writers: every handoff invalidates and
+    // re-fetches dirty data.
+    let line = 0xB000u64;
+    let a: VecTrace = (0..10).map(|i| Op::write(i * 2000, line)).collect();
+    let b: VecTrace = (0..10).map(|i| Op::write(1000 + i * 2000, line)).collect();
+    let stats = System::new(cfg(2), vec![a, b], NullExtension).run();
+    // After both caches hold it once, every write misses (the other
+    // invalidated it) and is supplied c2c from the dirty owner.
+    assert!(stats.cache_to_cache_transfers >= 15, "{stats:?}");
+}
+
+#[test]
+fn read_only_sharing_needs_one_memory_fill_per_cache() {
+    let line = 0xC000u64;
+    let a: VecTrace = (0..50).map(|i| Op::read(i * 10, line)).collect();
+    let b: VecTrace = (0..50).map(|i| Op::read(5 + i * 10, line)).collect();
+    let stats = System::new(cfg(2), vec![a, b], NullExtension).run();
+    assert_eq!(stats.txn_read, 2, "one fill per cache, then hits");
+    assert_eq!(stats.cache_to_cache_transfers, 0);
+    assert_eq!(stats.txn_upgrade, 0);
+}
+
+#[test]
+fn upgrade_then_silent_writes() {
+    // After one BusUpgr, subsequent writes by the same core hit locally.
+    let line = 0xD000u64;
+    let a = VecTrace::new(vec![Op::read(0, line), Op::write(100, line), Op::write(10, line)]);
+    let b = VecTrace::new(vec![Op::read(20, line)]);
+    let stats = System::new(cfg(2), vec![a, b], NullExtension).run();
+    assert_eq!(stats.txn_upgrade, 1, "exactly one upgrade, then M-state hits");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random small traces over a tiny shared footprint: the simulator
+    /// must terminate, execute every reference, and satisfy its
+    /// accounting identities regardless of interleaving.
+    #[test]
+    fn random_traces_satisfy_invariants(
+        ops_a in proptest::collection::vec((0u64..60, 0u8..2, 0u64..24), 1..120),
+        ops_b in proptest::collection::vec((0u64..60, 0u8..2, 0u64..24), 1..120),
+    ) {
+        let to_trace = |v: &Vec<(u64, u8, u64)>| {
+            VecTrace::new(
+                v.iter()
+                    .map(|&(gap, w, line)| {
+                        let addr = 0xE000 + line * 64;
+                        if w == 1 { Op::write(gap, addr) } else { Op::read(gap, addr) }
+                    })
+                    .collect(),
+            )
+        };
+        let total = (ops_a.len() + ops_b.len()) as u64;
+        let stats = System::new(
+            cfg(2),
+            vec![to_trace(&ops_a), to_trace(&ops_b)],
+            NullExtension,
+        )
+        .run();
+        prop_assert_eq!(stats.ops_executed, total);
+        prop_assert_eq!(stats.l1_hits + stats.l1_misses, total);
+        prop_assert_eq!(
+            stats.cache_to_cache_transfers + stats.memory_transfers,
+            stats.txn_read + stats.txn_read_exclusive
+        );
+        // The bus can't be busy longer than the run.
+        prop_assert!(stats.bus_busy_cycles <= stats.total_cycles);
+    }
+
+    /// Determinism over random traces.
+    #[test]
+    fn random_traces_are_deterministic(
+        ops in proptest::collection::vec((0u64..40, 0u8..2, 0u64..16), 1..80),
+    ) {
+        let mk = || {
+            let t = VecTrace::new(
+                ops.iter()
+                    .map(|&(gap, w, line)| {
+                        let addr = 0xF000 + line * 64;
+                        if w == 1 { Op::write(gap, addr) } else { Op::read(gap, addr) }
+                    })
+                    .collect(),
+            );
+            System::new(cfg(2), vec![t.clone(), t], NullExtension).run()
+        };
+        prop_assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,143 @@
+//! Integration: multiple simultaneous groups — two applications sharing
+//! the machine, each with its own GID, masks and authentication counter
+//! (the paper's Figure 1 scenario: applications 1 and 2 on overlapping
+//! processor subsets; here disjoint subsets, as the timing layer keys
+//! group state by processor).
+
+use senss::fabric::GroupFabric;
+use senss::group::{GroupId, ProcessorId};
+use senss::secure_bus::{SenssConfig, SenssExtension};
+use senss::shu::{BitMatrix, GroupInfoTable};
+use senss_crypto::Block;
+use senss_sim::{System, SystemConfig};
+use senss_workloads::Workload;
+
+#[test]
+fn two_groups_on_disjoint_cores_authenticate_independently() {
+    // Cores 0-1 run ocean (group 0), cores 2-3 run lu (group 1): splice
+    // the traces together on one 4-core machine.
+    let mut traces = Workload::Ocean.generate(2, 3_000, 1);
+    traces.extend(Workload::Lu.generate(2, 3_000, 2));
+    // Shift lu's addresses into a disjoint region so the two programs
+    // never share lines (separate protection domains).
+    // (The generators already use disjoint regions per workload.)
+    let ext = SenssExtension::with_groups(
+        SenssConfig::paper_default(4).with_auth_interval(10),
+        vec![vec![0, 1], vec![2, 3]],
+    );
+    let mut sys = System::new(SystemConfig::e6000(4, 1 << 20), traces, ext);
+    let stats = sys.run();
+    assert!(stats.txn_auth > 0, "both groups authenticate");
+    assert_eq!(sys.extension().num_groups(), 2);
+    // No cross-domain sharing means every c2c transfer stays inside one
+    // group; the combined auth count equals the per-group interval sums.
+    let expected = stats.cache_to_cache_transfers / 10;
+    assert!(
+        stats.txn_auth.abs_diff(expected) <= 2,
+        "auth {} vs expected ~{expected}",
+        stats.txn_auth
+    );
+}
+
+#[test]
+fn shu_tables_isolate_concurrent_groups() {
+    // Two program loads on a 4-processor machine: GIDs are reserved on
+    // every processor, secrets installed only on members.
+    let mut tables: Vec<GroupInfoTable> = (0..4).map(|_| GroupInfoTable::new(8)).collect();
+    let mut matrix = BitMatrix::new();
+
+    let g_bank = tables[0].allocate().unwrap();
+    for t in tables.iter_mut().skip(1) {
+        assert!(t.occupy(g_bank));
+    }
+    for pid in [0u8, 1] {
+        matrix.set(g_bank, ProcessorId::new(pid));
+        tables[pid as usize].install_secrets(g_bank, [0xAA; 16], vec![Block::ZERO; 8]);
+    }
+
+    let g_web = tables[0].allocate().unwrap();
+    assert_ne!(g_bank, g_web);
+    for t in tables.iter_mut().skip(1) {
+        assert!(t.occupy(g_web));
+    }
+    for pid in [2u8, 3] {
+        matrix.set(g_web, ProcessorId::new(pid));
+        tables[pid as usize].install_secrets(g_web, [0xBB; 16], vec![Block::ZERO; 8]);
+    }
+
+    // Membership checks drive message pickup.
+    assert!(matrix.contains(g_bank, ProcessorId::new(0)));
+    assert!(!matrix.contains(g_bank, ProcessorId::new(2)));
+    assert!(matrix.contains(g_web, ProcessorId::new(3)));
+    assert!(!matrix.contains(g_web, ProcessorId::new(1)));
+
+    // Non-members hold the occupied bit but no key.
+    assert!(tables[2].get(g_bank).unwrap().session_key.is_none());
+    assert!(tables[0].get(g_web).unwrap().session_key.is_none());
+}
+
+#[test]
+fn concurrent_fabrics_do_not_interfere() {
+    let mut bank = GroupFabric::new(
+        GroupId::new(1),
+        vec![ProcessorId::new(0), ProcessorId::new(1)],
+        &[0xAA; 16],
+        Block::from([1; 16]),
+        Block::from([2; 16]),
+        2,
+        5,
+        64,
+    );
+    let mut web = GroupFabric::new(
+        GroupId::new(2),
+        vec![ProcessorId::new(2), ProcessorId::new(3)],
+        &[0xBB; 16],
+        Block::from([3; 16]),
+        Block::from([4; 16]),
+        2,
+        5,
+        64,
+    );
+    // Interleave traffic; each fabric only ever sees its own messages
+    // (the bit matrix filters the other group's GID before decryption).
+    for i in 0..40u8 {
+        let d = vec![Block::from([i; 16])];
+        let got = bank.broadcast(ProcessorId::new(i % 2), &d);
+        assert_eq!(got[0].1, d);
+        let got = web.broadcast(ProcessorId::new(2 + i % 2), &d);
+        assert_eq!(got[0].1, d);
+    }
+    assert!(!bank.is_halted());
+    assert!(!web.is_halted());
+}
+
+#[test]
+fn group_swap_out_and_back_in_mid_run() {
+    // §4.2: the OS swaps the bank group out (context encrypted to
+    // memory), runs the web group, then swaps the bank back in.
+    let key = [0xAA; 16];
+    let mut bank = GroupFabric::new(
+        GroupId::new(1),
+        vec![ProcessorId::new(0), ProcessorId::new(1)],
+        &key,
+        Block::from([1; 16]),
+        Block::from([2; 16]),
+        2,
+        1000,
+        64,
+    );
+    for i in 0..9u8 {
+        bank.broadcast(ProcessorId::new(i % 2), &[Block::from([i; 16])]);
+    }
+    let parked = bank.suspend();
+
+    // … web group runs …
+
+    let mut bank = GroupFabric::resume(&parked, &key).expect("untampered context");
+    for i in 9..20u8 {
+        let d = vec![Block::from([i; 16])];
+        let got = bank.broadcast(ProcessorId::new(i % 2), &d);
+        assert_eq!(got[0].1, d, "post-swap message {i}");
+    }
+    assert!(!bank.is_halted());
+}

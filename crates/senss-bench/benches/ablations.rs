@@ -6,141 +6,123 @@
 //! 3. *Pad coherence protocol* (§6.1): write-invalidate vs write-update
 //!    on a write-heavy workload.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use senss::mask::MaskArray;
 use senss::secure_bus::{SenssConfig, SenssExtension};
+use senss_bench::benchkit::{black_box, Group};
 use senss_crypto::aes::Aes;
 use senss_crypto::Block;
 use senss_memprot::{MemProtConfig, MemProtPolicy, PadProtocol};
 use senss_sim::{System, SystemConfig};
 use senss_workloads::Workload;
 
-fn ablation_send_p_vs_c(c: &mut Criterion) {
+fn ablation_send_p_vs_c() {
     // What SENSS puts on the critical path (XOR with a ready mask) versus
     // what classic CBC would (an AES invocation).
     let aes = Aes::new_128(&[3; 16]);
     let mask = Block::from([9; 16]);
     let data = Block::from([0x5A; 16]);
-    let mut g = c.benchmark_group("ablation-send-p-vs-c");
-    g.bench_function("send_p_xor_only", |b| {
-        b.iter(|| black_box(black_box(data) ^ black_box(mask)))
+    let mut g = Group::new("ablation-send-p-vs-c");
+    g.bench("send_p_xor_only", || {
+        black_box(black_box(data) ^ black_box(mask))
     });
-    g.bench_function("send_c_full_aes", |b| {
-        b.iter(|| black_box(aes.encrypt_block(black_box(data) ^ black_box(mask))))
+    g.bench("send_c_full_aes", || {
+        black_box(aes.encrypt_block(black_box(data) ^ black_box(mask)))
     });
-    g.finish();
 }
 
-fn ablation_mask_count(c: &mut Criterion) {
+fn ablation_mask_count() {
     // Simulated stall cycles at peak bus rate for each mask count.
-    let mut g = c.benchmark_group("ablation-mask-count");
+    let mut g = Group::new("ablation-mask-count");
     for masks in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("acquire_1000", masks), &masks, |b, &m| {
-            b.iter(|| {
-                let mut arr = MaskArray::new(m, 80, 10);
-                let mut stall = 0u64;
-                for i in 0..1000u64 {
-                    stall += arr.acquire(i * 10);
-                }
-                black_box(stall)
-            });
+        g.bench(&format!("acquire_1000/{masks}"), || {
+            let mut arr = MaskArray::new(masks, 80, 10);
+            let mut stall = 0u64;
+            for i in 0..1000u64 {
+                stall += arr.acquire(i * 10);
+            }
+            black_box(stall)
         });
     }
-    g.finish();
 }
 
-fn ablation_pad_coherence(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation-pad-coherence");
-    g.sample_size(10);
+fn ablation_pad_coherence() {
+    let mut g = Group::new("ablation-pad-coherence");
     for (name, protocol) in [
         ("write_invalidate", PadProtocol::WriteInvalidate),
         ("write_update", PadProtocol::WriteUpdate),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let ext = SenssExtension::new(SenssConfig::paper_default(4))
-                    .with_memory_protection(MemProtPolicy::new(MemProtConfig {
-                        otp: true,
-                        integrity: senss_memprot::IntegrityMode::None,
-                        pad_protocol: protocol,
-                        data_span: 1 << 32,
-                        num_processors: 4,
-                    }));
-                let mut sys = System::new(
-                    SystemConfig::e6000(4, 1 << 20),
-                    Workload::Radix.generate(4, 3_000, 5),
-                    ext,
-                );
-                black_box(sys.run())
-            });
+        g.bench(name, || {
+            let ext = SenssExtension::new(SenssConfig::paper_default(4))
+                .with_memory_protection(MemProtPolicy::new(MemProtConfig {
+                    otp: true,
+                    integrity: senss_memprot::IntegrityMode::None,
+                    pad_protocol: protocol,
+                    data_span: 1 << 32,
+                    num_processors: 4,
+                }));
+            let mut sys = System::new(
+                SystemConfig::e6000(4, 1 << 20),
+                Workload::Radix.generate(4, 3_000, 5),
+                ext,
+            );
+            black_box(sys.run())
         });
     }
-    g.finish();
 }
 
-fn ablation_chash_vs_lhash(c: &mut Criterion) {
+fn ablation_chash_vs_lhash() {
     // §7.7: the paper expects LHash (lazy verification) to beat CHash.
     // Same workload, same OTP stack, different integrity mode.
-    let mut g = c.benchmark_group("ablation-integrity-mode");
-    g.sample_size(10);
+    let mut g = Group::new("ablation-integrity-mode");
     for (name, mode) in [
         ("chash", senss_memprot::IntegrityMode::CHash),
         ("lhash", senss_memprot::IntegrityMode::Lazy),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let ext = SenssExtension::new(SenssConfig::paper_default(4))
-                    .with_memory_protection(MemProtPolicy::new(MemProtConfig {
-                        otp: true,
-                        integrity: mode,
-                        pad_protocol: PadProtocol::WriteInvalidate,
-                        data_span: 1 << 32,
-                        num_processors: 4,
-                    }));
-                let mut sys = System::new(
-                    SystemConfig::e6000(4, 1 << 20),
-                    Workload::Ocean.generate(4, 3_000, 5),
-                    ext,
-                );
-                black_box(sys.run())
-            });
+        g.bench(name, || {
+            let ext = SenssExtension::new(SenssConfig::paper_default(4))
+                .with_memory_protection(MemProtPolicy::new(MemProtConfig {
+                    otp: true,
+                    integrity: mode,
+                    pad_protocol: PadProtocol::WriteInvalidate,
+                    data_span: 1 << 32,
+                    num_processors: 4,
+                }));
+            let mut sys = System::new(
+                SystemConfig::e6000(4, 1 << 20),
+                Workload::Ocean.generate(4, 3_000, 5),
+                ext,
+            );
+            black_box(sys.run())
         });
     }
-    g.finish();
 }
 
-fn ablation_cipher_mode(c: &mut Criterion) {
+fn ablation_cipher_mode() {
     // §4.3 Implications at system level: CBC two-pass vs GCM one-pass
     // under a c2c-heavy workload.
     use senss::secure_bus::CipherMode;
-    let mut g = c.benchmark_group("ablation-cipher-mode");
-    g.sample_size(10);
+    let mut g = Group::new("ablation-cipher-mode");
     for (name, mode) in [
         ("cbc_two_pass", CipherMode::CbcTwoPass),
         ("gcm_single_pass", CipherMode::GcmSinglePass),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut sys = System::new(
-                    SystemConfig::e6000(4, 4 << 20),
-                    Workload::Fft.generate(4, 3_000, 7),
-                    SenssExtension::new(
-                        SenssConfig::paper_default(4).with_cipher(mode).with_masks(2),
-                    ),
-                );
-                black_box(sys.run())
-            });
+        g.bench(name, || {
+            let mut sys = System::new(
+                SystemConfig::e6000(4, 4 << 20),
+                Workload::Fft.generate(4, 3_000, 7),
+                SenssExtension::new(
+                    SenssConfig::paper_default(4).with_cipher(mode).with_masks(2),
+                ),
+            );
+            black_box(sys.run())
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    ablation_send_p_vs_c,
-    ablation_mask_count,
-    ablation_pad_coherence,
-    ablation_chash_vs_lhash,
-    ablation_cipher_mode
-);
-criterion_main!(benches);
+fn main() {
+    ablation_send_p_vs_c();
+    ablation_mask_count();
+    ablation_pad_coherence();
+    ablation_chash_vs_lhash();
+    ablation_cipher_mode();
+}

@@ -1,7 +1,7 @@
 //! Crypto-substrate microbenchmarks: the primitives whose hardware
 //! latencies the paper models (AES, CBC chain, CBC-MAC, GCM, SHA-256).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use senss_bench::benchkit::{black_box, Group};
 use senss_crypto::aes::Aes;
 use senss_crypto::cbc::{BusChain, CbcEncryptor};
 use senss_crypto::gcm::Gcm;
@@ -9,83 +9,71 @@ use senss_crypto::mac::ChainedMac;
 use senss_crypto::sha256::Sha256;
 use senss_crypto::Block;
 
-fn bench_aes(c: &mut Criterion) {
+fn bench_aes() {
     let aes = Aes::new_128(&[7; 16]);
     let block = Block::from([0x42; 16]);
-    let mut g = c.benchmark_group("aes");
-    g.throughput(Throughput::Bytes(16));
-    g.bench_function("encrypt_block", |b| {
-        b.iter(|| aes.encrypt_block(black_box(block)))
-    });
-    g.bench_function("decrypt_block", |b| {
-        let ct = aes.encrypt_block(block);
-        b.iter(|| aes.decrypt_block(black_box(ct)))
-    });
-    g.finish();
+    let mut g = Group::new("aes");
+    g.throughput_bytes(16);
+    g.bench("encrypt_block", || aes.encrypt_block(black_box(block)));
+    let ct = aes.encrypt_block(block);
+    g.bench("decrypt_block", || aes.decrypt_block(black_box(ct)));
 }
 
-fn bench_chains(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bus-encryption");
-    g.throughput(Throughput::Bytes(16));
-    g.bench_function("bus_chain_encrypt", |b| {
-        let mut chain = BusChain::new(Aes::new_128(&[1; 16]), Block::from([2; 16]));
-        b.iter(|| chain.encrypt(black_box(Block::from([3; 16]))))
+fn bench_chains() {
+    let mut g = Group::new("bus-encryption");
+    g.throughput_bytes(16);
+    let mut chain = BusChain::new(Aes::new_128(&[1; 16]), Block::from([2; 16]));
+    g.bench("bus_chain_encrypt", || {
+        chain.encrypt(black_box(Block::from([3; 16])))
     });
-    g.bench_function("cbc_encrypt_block", |b| {
-        let mut enc = CbcEncryptor::new(Aes::new_128(&[1; 16]), Block::from([2; 16]));
-        b.iter(|| enc.encrypt_block(black_box(Block::from([3; 16]))))
+    let mut enc = CbcEncryptor::new(Aes::new_128(&[1; 16]), Block::from([2; 16]));
+    g.bench("cbc_encrypt_block", || {
+        enc.encrypt_block(black_box(Block::from([3; 16])))
     });
-    g.bench_function("chained_mac_absorb", |b| {
-        let mut mac = ChainedMac::new(Aes::new_128(&[1; 16]), Block::from([4; 16]));
-        b.iter(|| mac.absorb_tagged(black_box(Block::from([5; 16])), 3))
+    let mut mac = ChainedMac::new(Aes::new_128(&[1; 16]), Block::from([4; 16]));
+    g.bench("chained_mac_absorb", || {
+        mac.absorb_tagged(black_box(Block::from([5; 16])), 3)
     });
-    g.finish();
 }
 
-fn bench_gcm_vs_cbc_two_pass(c: &mut Criterion) {
+fn bench_gcm_vs_cbc_two_pass() {
     // §4.3 Implications: CBC needs two AES passes per block (encrypt +
     // MAC); GCM produces ciphertext + tag with one AES pass and a GF
     // multiply. Compare a 64-byte line (one bus transfer).
     let line = [0x5Au8; 64];
-    let mut g = c.benchmark_group("line-encrypt-auth");
-    g.throughput(Throughput::Bytes(64));
-    g.bench_function("cbc_plus_cbcmac", |b| {
-        let aes = Aes::new_128(&[1; 16]);
-        b.iter(|| {
-            let mut enc = CbcEncryptor::new(aes.clone(), Block::from([2; 16]));
-            let mut mac = ChainedMac::new(aes.clone(), Block::from([3; 16]));
-            for chunk in line.chunks_exact(16) {
-                let blk = Block::from_slice(chunk);
-                black_box(enc.encrypt_block(blk));
-                mac.absorb(blk);
-            }
-            black_box(mac.tag(128))
-        })
+    let mut g = Group::new("line-encrypt-auth");
+    g.throughput_bytes(64);
+    let aes = Aes::new_128(&[1; 16]);
+    g.bench("cbc_plus_cbcmac", || {
+        let mut enc = CbcEncryptor::new(aes.clone(), Block::from([2; 16]));
+        let mut mac = ChainedMac::new(aes.clone(), Block::from([3; 16]));
+        for chunk in line.chunks_exact(16) {
+            let blk = Block::from_slice(chunk);
+            black_box(enc.encrypt_block(blk));
+            mac.absorb(blk);
+        }
+        black_box(mac.tag(128))
     });
-    g.bench_function("gcm_single_pass", |b| {
-        let gcm = Gcm::new(Aes::new_128(&[1; 16]));
-        b.iter(|| black_box(gcm.encrypt(&[9u8; 12], b"", &line)))
+    let gcm = Gcm::new(Aes::new_128(&[1; 16]));
+    g.bench("gcm_single_pass", || {
+        black_box(gcm.encrypt(&[9u8; 12], b"", &line))
     });
-    g.finish();
 }
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sha256");
+fn bench_sha256() {
+    let mut g = Group::new("sha256");
     for size in [64usize, 1024] {
         let data = vec![0xCC; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("digest_{size}B"), |b| {
-            b.iter(|| Sha256::digest(black_box(&data)))
+        g.throughput_bytes(size as u64);
+        g.bench(&format!("digest_{size}B"), || {
+            Sha256::digest(black_box(&data))
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_aes,
-    bench_chains,
-    bench_gcm_vs_cbc_two_pass,
-    bench_sha256
-);
-criterion_main!(benches);
+fn main() {
+    bench_aes();
+    bench_chains();
+    bench_gcm_vs_cbc_two_pass();
+    bench_sha256();
+}

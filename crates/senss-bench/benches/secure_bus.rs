@@ -2,75 +2,62 @@
 //! simulated run, and the functional fabric's throughput (real AES on
 //! every transfer).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use senss::fabric::GroupFabric;
 use senss::group::{GroupId, ProcessorId};
 use senss::secure_bus::{SenssConfig, SenssExtension};
+use senss_bench::benchkit::{black_box, Group};
 use senss_crypto::Block;
 use senss_sim::{NullExtension, System, SystemConfig};
 use senss_workloads::Workload;
 
-fn bench_secured_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("secured-simulation");
-    g.sample_size(10);
+fn bench_secured_simulation() {
+    let mut g = Group::new("secured-simulation");
     let ops = 5_000usize;
     let w = Workload::Ocean;
-    g.bench_function("baseline", |b| {
-        b.iter(|| {
+    g.bench("baseline", || {
+        let mut sys = System::new(
+            SystemConfig::e6000(4, 1 << 20),
+            w.generate(4, ops, 42),
+            NullExtension,
+        );
+        black_box(sys.run())
+    });
+    for interval in [100u64, 1] {
+        g.bench(&format!("senss_interval/{interval}"), || {
             let mut sys = System::new(
                 SystemConfig::e6000(4, 1 << 20),
                 w.generate(4, ops, 42),
-                NullExtension,
+                SenssExtension::new(SenssConfig::paper_default(4).with_auth_interval(interval)),
             );
             black_box(sys.run())
         });
-    });
-    for interval in [100u64, 1] {
-        g.bench_with_input(
-            BenchmarkId::new("senss_interval", interval),
-            &interval,
-            |b, &interval| {
-                b.iter(|| {
-                    let mut sys = System::new(
-                        SystemConfig::e6000(4, 1 << 20),
-                        w.generate(4, ops, 42),
-                        SenssExtension::new(
-                            SenssConfig::paper_default(4).with_auth_interval(interval),
-                        ),
-                    );
-                    black_box(sys.run())
-                });
-            },
-        );
     }
-    g.finish();
 }
 
-fn bench_functional_fabric(c: &mut Criterion) {
+fn bench_functional_fabric() {
     // Full crypto per transfer: 4-block payload encrypted by the sender
     // and decrypted + MAC'd by 3 receivers.
-    let mut g = c.benchmark_group("functional-fabric");
-    g.throughput(Throughput::Bytes(64));
-    g.bench_function("broadcast_64B_4members", |b| {
-        let mut fabric = GroupFabric::new(
-            GroupId::new(0),
-            (0..4).map(ProcessorId::new).collect(),
-            &[7; 16],
-            Block::from([1; 16]),
-            Block::from([2; 16]),
-            8,
-            100,
-            64,
-        );
-        let line: Vec<Block> = (0..4u8).map(|i| Block::from([i; 16])).collect();
-        let mut sender = 0u8;
-        b.iter(|| {
-            sender = (sender + 1) % 4;
-            black_box(fabric.broadcast(ProcessorId::new(sender), &line))
-        });
+    let mut g = Group::new("functional-fabric");
+    g.throughput_bytes(64);
+    let mut fabric = GroupFabric::new(
+        GroupId::new(0),
+        (0..4).map(ProcessorId::new).collect(),
+        &[7; 16],
+        Block::from([1; 16]),
+        Block::from([2; 16]),
+        8,
+        100,
+        64,
+    );
+    let line: Vec<Block> = (0..4u8).map(|i| Block::from([i; 16])).collect();
+    let mut sender = 0u8;
+    g.bench("broadcast_64B_4members", || {
+        sender = (sender + 1) % 4;
+        black_box(fabric.broadcast(ProcessorId::new(sender), &line))
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_secured_simulation, bench_functional_fabric);
-criterion_main!(benches);
+fn main() {
+    bench_secured_simulation();
+    bench_functional_fabric();
+}

@@ -1,41 +1,37 @@
 //! Simulator-substrate benchmarks: how fast the cycle-level SMP model
 //! runs (simulated references per wall-clock second).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use senss_bench::benchkit::{black_box, Group};
 use senss_sim::{NullExtension, System, SystemConfig};
 use senss_workloads::Workload;
 
-fn bench_baseline_runs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
+fn bench_baseline_runs() {
+    let mut g = Group::new("simulator");
     let ops = 5_000usize;
     for w in [Workload::Ocean, Workload::Radix] {
-        g.throughput(Throughput::Elements(4 * ops as u64));
-        g.bench_with_input(BenchmarkId::new("run_4p_1m", w.name()), &w, |b, &w| {
-            b.iter(|| {
-                let mut sys = System::new(
-                    SystemConfig::e6000(4, 1 << 20),
-                    w.generate(4, ops, 42),
-                    NullExtension,
-                );
-                black_box(sys.run())
-            });
+        g.throughput_elements(4 * ops as u64);
+        g.bench(&format!("run_4p_1m/{}", w.name()), || {
+            let mut sys = System::new(
+                SystemConfig::e6000(4, 1 << 20),
+                w.generate(4, ops, 42),
+                NullExtension,
+            );
+            black_box(sys.run())
         });
     }
-    g.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload-generation");
-    g.sample_size(10);
+fn bench_trace_generation() {
+    let mut g = Group::new("workload-generation");
     for w in Workload::all() {
-        g.throughput(Throughput::Elements(4 * 10_000));
-        g.bench_with_input(BenchmarkId::new("generate", w.name()), &w, |b, &w| {
-            b.iter(|| black_box(w.generate(4, 10_000, 1)));
+        g.throughput_elements(4 * 10_000);
+        g.bench(&format!("generate/{}", w.name()), || {
+            black_box(w.generate(4, 10_000, 1))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_baseline_runs, bench_trace_generation);
-criterion_main!(benches);
+fn main() {
+    bench_baseline_runs();
+    bench_trace_generation();
+}

@@ -1,0 +1,98 @@
+//! A minimal micro-benchmark timer used by the `benches/` targets.
+//!
+//! The criterion dependency was dropped so the workspace builds with no
+//! external crates; this module supplies the small slice of it the SENSS
+//! benches need: named groups, per-iteration timing with warmup, and
+//! bytes/elements throughput reporting. Run via `cargo bench -p
+//! senss-bench` exactly as before (the bench targets set
+//! `harness = false` and call [`Group`] from `main`).
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name the benches use.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// How the per-iteration cost is scaled into a throughput line.
+#[derive(Debug, Clone, Copy)]
+enum Throughput {
+    None,
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named collection of benchmarks, printed as one block.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    throughput: Throughput,
+    /// Target measurement time per benchmark.
+    measure: Duration,
+}
+
+impl Group {
+    /// Starts a group and prints its header.
+    pub fn new(name: &str) -> Group {
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_string(),
+            throughput: Throughput::None,
+            measure: Duration::from_millis(
+                std::env::var("SENSS_BENCH_MS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(200),
+            ),
+        }
+    }
+
+    /// Scales subsequent results by bytes processed per iteration.
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Group {
+        self.throughput = Throughput::Bytes(bytes);
+        self
+    }
+
+    /// Scales subsequent results by elements processed per iteration.
+    pub fn throughput_elements(&mut self, elements: u64) -> &mut Group {
+        self.throughput = Throughput::Elements(elements);
+        self
+    }
+
+    /// Times `f`, printing mean ns/iter (and throughput when configured).
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &mut Group {
+        // Warmup: let caches and branch predictors settle.
+        let warmup_end = Instant::now() + self.measure / 4;
+        let mut iters_per_batch = 1u64;
+        while Instant::now() < warmup_end {
+            for _ in 0..iters_per_batch {
+                hint_black_box(f());
+            }
+            iters_per_batch = (iters_per_batch * 2).min(1 << 20);
+        }
+        // Measure in batches until the time budget is spent.
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        while total_time < self.measure {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                hint_black_box(f());
+            }
+            total_time += start.elapsed();
+            total_iters += iters_per_batch;
+        }
+        let ns = total_time.as_nanos() as f64 / total_iters as f64;
+        let rate = match self.throughput {
+            Throughput::None => String::new(),
+            Throughput::Bytes(b) => {
+                format!("  {:>10.1} MB/s", b as f64 / ns * 1e9 / 1e6)
+            }
+            Throughput::Elements(e) => {
+                format!("  {:>10.0} elem/s", e as f64 / ns * 1e9)
+            }
+        };
+        println!("{:<40} {ns:>12.1} ns/iter{rate}", format!("{}/{name}", self.name));
+        self
+    }
+}

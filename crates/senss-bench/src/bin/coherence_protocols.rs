@@ -9,10 +9,9 @@
 //! with the protocol's chattiness. Write-invalidate is the right
 //! substrate for SENSS twice over.
 
-use senss::secure_bus::{SenssConfig, SenssExtension};
+use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
 use senss_bench::{format_table, maybe_write_csv, ops_per_core, seed, workload_columns};
 use senss_sim::config::CoherenceProtocol;
-use senss_sim::{NullExtension, System, SystemConfig};
 
 fn main() {
     let ops = ops_per_core();
@@ -26,21 +25,27 @@ fn main() {
     ];
 
     // SENSS cost (interval 1 = every transfer authenticated) per protocol.
+    let mode = SecurityMode::senss_interval(1);
+    let mut sweep = SweepSpec::new("coherence");
+    for (_, protocol) in protocols {
+        for w in workload_columns() {
+            let job = sweeps::point(w, 4, 1 << 20).with_coherence(protocol);
+            sweep.push(job);
+            sweep.push(job.with_mode(mode));
+        }
+    }
+    let result = sweeps::execute(&sweep);
+
     let mut slow_rows = Vec::new();
     let mut secured_rows = Vec::new();
     for (name, protocol) in protocols {
         let mut slow = Vec::new();
         let mut secured = Vec::new();
         for w in workload_columns() {
-            let cfg = SystemConfig::e6000(4, 1 << 20).with_coherence(protocol);
-            let base = System::new(cfg.clone(), w.generate(4, ops, seed), NullExtension).run();
-            let sec = System::new(
-                cfg,
-                w.generate(4, ops, seed),
-                SenssExtension::new(SenssConfig::paper_default(4).with_auth_interval(1)),
-            )
-            .run();
-            slow.push(sec.slowdown_vs(&base));
+            let job = sweeps::point(w, 4, 1 << 20).with_coherence(protocol);
+            let base = result.require(&job);
+            let sec = result.require(&job.with_mode(mode));
+            slow.push(sec.slowdown_vs(base));
             // Transfers SENSS had to secure (c2c fills + update broadcasts).
             secured.push((sec.cache_to_cache_transfers + sec.txn_update) as f64);
         }

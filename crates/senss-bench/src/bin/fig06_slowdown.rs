@@ -7,8 +7,11 @@
 //! growing with the number of cache-to-cache transfers (more processors /
 //! larger L2 ⇒ relatively more c2c).
 
-use senss::secure_bus::SenssConfig;
-use senss_bench::{format_table, maybe_write_csv, ops_per_core, overhead, seed, workload_columns, Point};
+use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
+use senss_bench::{format_table, maybe_write_csv, ops_per_core, seed, workload_columns};
+
+const L2S: [usize; 2] = [1 << 20, 4 << 20];
+const CORES: [usize; 2] = [2, 4];
 
 fn main() {
     let ops = ops_per_core();
@@ -16,20 +19,27 @@ fn main() {
     println!("=== Figure 6: percentage slowdown (SENSS, auth interval 100) ===");
     println!("ops/core = {ops}, seed = {seed}\n");
 
-    for &l2 in &[1usize << 20, 4 << 20] {
+    let mut sweep = SweepSpec::new("fig06");
+    sweep.grid(
+        &workload_columns(),
+        &CORES,
+        &L2S,
+        &[SecurityMode::Baseline, SecurityMode::senss()],
+        ops,
+        seed,
+    );
+    let result = sweeps::execute(&sweep);
+
+    for &l2 in &L2S {
         let mut rows = Vec::new();
-        for &cores in &[2usize, 4] {
-            let mut values = Vec::new();
-            for w in workload_columns() {
-                let p = Point::new(w, cores, l2);
-                let base = p.run_baseline(ops, seed);
-                let cfg = SenssConfig::paper_default(cores);
-                let sec = p.run_senss(ops, seed, cfg);
-                values.push(overhead(&sec, &base).slowdown_pct);
-            }
+        for &cores in &CORES {
+            let values = sweeps::workload_overheads(&result, cores, l2, SecurityMode::senss())
+                .into_iter()
+                .map(|o| o.slowdown_pct)
+                .collect();
             rows.push((format!("{cores}P"), values));
         }
-        maybe_write_csv(&format!("fig06_l2_{}mb" , l2 >> 20), &rows);
+        maybe_write_csv(&format!("fig06_l2_{}mb", l2 >> 20), &rows);
         println!(
             "{}",
             format_table(

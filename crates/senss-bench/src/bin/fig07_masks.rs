@@ -6,8 +6,8 @@
 //! back-to-back transfers.
 
 use senss::mask::PERFECT_MASKS;
-use senss::secure_bus::SenssConfig;
-use senss_bench::{format_table, maybe_write_csv, ops_per_core, overhead, seed, workload_columns, Point};
+use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
+use senss_bench::{format_table, maybe_write_csv, ops_per_core, seed, workload_columns};
 
 fn main() {
     let ops = ops_per_core();
@@ -22,22 +22,25 @@ fn main() {
         ("1 mask", 1),
     ];
 
+    let mut modes = vec![SecurityMode::Baseline];
+    modes.extend(variants.iter().map(|&(_, m)| SecurityMode::senss_masks(m)));
+    let mut sweep = SweepSpec::new("fig07");
+    sweep.grid(&workload_columns(), &[4], &[4 << 20], &modes, ops, seed);
+    let result = sweeps::execute(&sweep);
+
     let mut slow_rows = Vec::new();
     let mut traffic_rows = Vec::new();
-    for (label, masks) in variants {
-        let mut slow = Vec::new();
-        let mut traffic = Vec::new();
-        for w in workload_columns() {
-            let p = Point::new(w, 4, 4 << 20);
-            let base = p.run_baseline(ops, seed);
-            let cfg = SenssConfig::paper_default(4).with_masks(*masks);
-            let sec = p.run_senss(ops, seed, cfg);
-            let o = overhead(&sec, &base);
-            slow.push(o.slowdown_pct);
-            traffic.push(o.traffic_pct);
-        }
-        slow_rows.push((label.to_string(), slow));
-        traffic_rows.push((label.to_string(), traffic));
+    for &(label, masks) in variants {
+        let overheads =
+            sweeps::workload_overheads(&result, 4, 4 << 20, SecurityMode::senss_masks(masks));
+        slow_rows.push((
+            label.to_string(),
+            overheads.iter().map(|o| o.slowdown_pct).collect(),
+        ));
+        traffic_rows.push((
+            label.to_string(),
+            overheads.iter().map(|o| o.traffic_pct).collect(),
+        ));
     }
     maybe_write_csv("fig07_slowdown", &slow_rows);
     maybe_write_csv("fig07_traffic", &traffic_rows);

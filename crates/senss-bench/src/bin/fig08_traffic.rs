@@ -3,9 +3,15 @@
 //! The only extra transactions in bus-security-only SENSS are the
 //! authentication messages — one per 100 cache-to-cache transfers — so
 //! the paper reports increases well under 1% (max 0.46%).
+//!
+//! The sweep grid is identical to Figure 6's, so with a warm result
+//! cache this binary executes zero simulations.
 
-use senss::secure_bus::SenssConfig;
-use senss_bench::{format_table, maybe_write_csv, ops_per_core, overhead, seed, workload_columns, Point};
+use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
+use senss_bench::{format_table, maybe_write_csv, ops_per_core, seed, workload_columns};
+
+const L2S: [usize; 2] = [1 << 20, 4 << 20];
+const CORES: [usize; 2] = [2, 4];
 
 fn main() {
     let ops = ops_per_core();
@@ -13,20 +19,27 @@ fn main() {
     println!("=== Figure 8: % bus activity increase (SENSS, auth interval 100) ===");
     println!("ops/core = {ops}, seed = {seed}\n");
 
-    for &l2 in &[1usize << 20, 4 << 20] {
+    let mut sweep = SweepSpec::new("fig08");
+    sweep.grid(
+        &workload_columns(),
+        &CORES,
+        &L2S,
+        &[SecurityMode::Baseline, SecurityMode::senss()],
+        ops,
+        seed,
+    );
+    let result = sweeps::execute(&sweep);
+
+    for &l2 in &L2S {
         let mut rows = Vec::new();
-        for &cores in &[2usize, 4] {
-            let mut values = Vec::new();
-            for w in workload_columns() {
-                let p = Point::new(w, cores, l2);
-                let base = p.run_baseline(ops, seed);
-                let cfg = SenssConfig::paper_default(cores);
-                let sec = p.run_senss(ops, seed, cfg);
-                values.push(overhead(&sec, &base).traffic_pct);
-            }
+        for &cores in &CORES {
+            let values = sweeps::workload_overheads(&result, cores, l2, SecurityMode::senss())
+                .into_iter()
+                .map(|o| o.traffic_pct)
+                .collect();
             rows.push((format!("{cores}P"), values));
         }
-        maybe_write_csv(&format!("fig08_l2_{}mb" , l2 >> 20), &rows);
+        maybe_write_csv(&format!("fig08_l2_{}mb", l2 >> 20), &rows);
         println!(
             "{}",
             format_table(

@@ -5,8 +5,8 @@
 //! up to 46% more bus transactions (the auth messages mirror the c2c
 //! share of total bus activity); longer intervals shrink both.
 
-use senss::secure_bus::SenssConfig;
-use senss_bench::{format_table, maybe_write_csv, ops_per_core, overhead, seed, workload_columns, Point};
+use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
+use senss_bench::{format_table, maybe_write_csv, ops_per_core, seed, workload_columns};
 
 fn main() {
     let ops = ops_per_core();
@@ -15,22 +15,25 @@ fn main() {
     println!("ops/core = {ops}, seed = {seed}\n");
 
     let intervals = [100u64, 32, 10, 1];
+    let mut modes = vec![SecurityMode::Baseline];
+    modes.extend(intervals.iter().map(|&i| SecurityMode::senss_interval(i)));
+    let mut sweep = SweepSpec::new("fig09");
+    sweep.grid(&workload_columns(), &[4], &[4 << 20], &modes, ops, seed);
+    let result = sweeps::execute(&sweep);
+
     let mut slow_rows = Vec::new();
     let mut traffic_rows = Vec::new();
     for &interval in &intervals {
-        let mut slow = Vec::new();
-        let mut traffic = Vec::new();
-        for w in workload_columns() {
-            let p = Point::new(w, 4, 4 << 20);
-            let base = p.run_baseline(ops, seed);
-            let cfg = SenssConfig::paper_default(4).with_auth_interval(interval);
-            let sec = p.run_senss(ops, seed, cfg);
-            let o = overhead(&sec, &base);
-            slow.push(o.slowdown_pct);
-            traffic.push(o.traffic_pct);
-        }
-        slow_rows.push((format!("{interval} transactions"), slow));
-        traffic_rows.push((format!("{interval} transactions"), traffic));
+        let overheads =
+            sweeps::workload_overheads(&result, 4, 4 << 20, SecurityMode::senss_interval(interval));
+        slow_rows.push((
+            format!("{interval} transactions"),
+            overheads.iter().map(|o| o.slowdown_pct).collect(),
+        ));
+        traffic_rows.push((
+            format!("{interval} transactions"),
+            overheads.iter().map(|o| o.traffic_pct).collect(),
+        ));
     }
     maybe_write_csv("fig09_slowdown", &slow_rows);
     maybe_write_csv("fig09_traffic", &traffic_rows);

@@ -8,8 +8,9 @@
 //! fetches and pad-coherence messages — an order of magnitude above the
 //! bus-security-only cost.
 
-use senss::secure_bus::SenssConfig;
-use senss_bench::{format_table, maybe_write_csv, ops_per_core, overhead, seed, workload_columns, Point};
+use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
+use senss_bench::{format_table, maybe_write_csv, ops_per_core, seed, workload_columns};
+use senss_workloads::Workload;
 
 fn main() {
     let ops = ops_per_core();
@@ -17,26 +18,28 @@ fn main() {
     println!("=== Figure 10: integrated system (4P, 1MB L2, interval 100) ===");
     println!("ops/core = {ops}, seed = {seed}\n");
 
+    let flavours = [
+        ("SENSS", SecurityMode::senss()),
+        ("SENSS+Mem_OTP_CHash", SecurityMode::integrated()),
+    ];
+    let mut modes = vec![SecurityMode::Baseline];
+    modes.extend(flavours.iter().map(|&(_, m)| m));
+    let mut sweep = SweepSpec::new("fig10");
+    sweep.grid(&workload_columns(), &[4], &[1 << 20], &modes, ops, seed);
+    let result = sweeps::execute(&sweep);
+
     let mut slow_rows = Vec::new();
     let mut traffic_rows = Vec::new();
-    for flavour in ["SENSS", "SENSS+Mem_OTP_CHash"] {
-        let mut slow = Vec::new();
-        let mut traffic = Vec::new();
-        for w in workload_columns() {
-            let p = Point::new(w, 4, 1 << 20);
-            let base = p.run_baseline(ops, seed);
-            let cfg = SenssConfig::paper_default(4);
-            let sec = if flavour == "SENSS" {
-                p.run_senss(ops, seed, cfg)
-            } else {
-                p.run_integrated(ops, seed, cfg)
-            };
-            let o = overhead(&sec, &base);
-            slow.push(o.slowdown_pct);
-            traffic.push(o.traffic_pct);
-        }
-        slow_rows.push((flavour.to_string(), slow));
-        traffic_rows.push((flavour.to_string(), traffic));
+    for &(flavour, mode) in &flavours {
+        let overheads = sweeps::workload_overheads(&result, 4, 1 << 20, mode);
+        slow_rows.push((
+            flavour.to_string(),
+            overheads.iter().map(|o| o.slowdown_pct).collect(),
+        ));
+        traffic_rows.push((
+            flavour.to_string(),
+            overheads.iter().map(|o| o.traffic_pct).collect(),
+        ));
     }
     maybe_write_csv("fig10_slowdown", &slow_rows);
     maybe_write_csv("fig10_traffic", &traffic_rows);
@@ -44,8 +47,9 @@ fn main() {
     println!("{}", format_table("% bus activity increase", &traffic_rows));
 
     // Detail: what the extra traffic is made of, for one workload.
-    let p = Point::new(senss_workloads::Workload::Ocean, 4, 1 << 20);
-    let stats = p.run_integrated(ops, seed, SenssConfig::paper_default(4));
+    let stats = result.require(
+        &sweeps::point(Workload::Ocean, 4, 1 << 20).with_mode(SecurityMode::integrated()),
+    );
     println!("ocean detail: hash fetches = {}, hash writebacks = {}, pad invalidates = {}, pad requests = {}",
         stats.txn_hash_fetch, stats.txn_hash_writeback,
         stats.txn_pad_invalidate, stats.txn_pad_request);

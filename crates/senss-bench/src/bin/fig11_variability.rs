@@ -7,23 +7,34 @@
 //! figure bars dip below zero. This binary reproduces the effect on the
 //! false-sharing microbenchmark and on a seed sweep of `radix`.
 
-use senss::secure_bus::{SenssConfig, SenssExtension};
-use senss_bench::{ops_per_core, overhead, Point};
-use senss_sim::{NullExtension, System, SystemConfig};
-use senss_workloads::{micro, Workload};
+use senss_bench::sweeps::{self, JobSpec, SecurityMode, SweepSpec, TraceSpec};
+use senss_bench::{ops_per_core, overhead};
+use senss_workloads::Workload;
+
+const MICRO_OPS: usize = 2_000;
+const SEEDS: u64 = 8;
 
 fn main() {
     println!("=== Figure 11 / §7.8: access reordering & variability ===\n");
 
-    // The false-sharing micro-trace of the paper's diagram.
-    let cfg = SystemConfig::e6000(2, 1 << 20);
-    let base = System::new(cfg.clone(), micro::false_sharing(2_000), NullExtension).run();
-    let sec = System::new(
-        cfg,
-        micro::false_sharing(2_000),
-        SenssExtension::new(SenssConfig::paper_default(2).with_auth_interval(1)),
-    )
-    .run();
+    // One sweep covers both experiments: the paper-diagram false-sharing
+    // micro-trace (interval 1 = worst case) and the radix seed sweep.
+    let ops = ops_per_core().min(10_000);
+    let mut sweep = SweepSpec::new("fig11");
+    let micro = JobSpec::new(TraceSpec::FalseSharing, 2, 1 << 20).with_ops(MICRO_OPS);
+    sweep.push(micro);
+    sweep.push(micro.with_mode(SecurityMode::senss_interval(1)));
+    for s in 0..SEEDS {
+        let radix = JobSpec::new(Workload::Radix, 4, 1 << 20)
+            .with_ops(ops)
+            .with_seed(s);
+        sweep.push(radix);
+        sweep.push(radix.with_mode(SecurityMode::senss()));
+    }
+    let result = sweeps::execute(&sweep);
+
+    let base = result.require(&micro);
+    let sec = result.require(&micro.with_mode(SecurityMode::senss_interval(1)));
     println!("false-sharing micro (2 CPUs, same line, different words):");
     println!(
         "  base : cycles={:>9} l1_hits={:>6} c2c={:>5} upgrades={:>5}",
@@ -39,19 +50,20 @@ fn main() {
     );
 
     // Seed sweep: the distribution of slowdowns includes negative values.
-    let ops = ops_per_core().min(10_000);
     println!("radix slowdown across seeds (4P, 1MB L2, interval 100):");
     let mut negatives = 0;
-    for s in 0..8u64 {
-        let p = Point::new(Workload::Radix, 4, 1 << 20);
-        let base = p.run_baseline(ops, s);
-        let sec = p.run_senss(ops, s, SenssConfig::paper_default(4));
-        let o = overhead(&sec, &base);
+    for s in 0..SEEDS {
+        let radix = JobSpec::new(Workload::Radix, 4, 1 << 20)
+            .with_ops(ops)
+            .with_seed(s);
+        let base = result.require(&radix);
+        let sec = result.require(&radix.with_mode(SecurityMode::senss()));
+        let o = overhead(sec, base);
         if o.slowdown_pct < 0.0 {
             negatives += 1;
         }
         println!("  seed {s}: {:+.3}%", o.slowdown_pct);
     }
-    println!("\nnegative slowdowns observed: {negatives}/8");
+    println!("\nnegative slowdowns observed: {negatives}/{SEEDS}");
     println!("Paper: \"some of the programs run faster ... than the base case\" (§7.8).");
 }

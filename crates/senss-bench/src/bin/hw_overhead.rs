@@ -3,11 +3,15 @@
 //! Regenerates the paper's accounting: the group-processor bit matrix
 //! (640 B), the group information table (1161 bits/entry ⇒ ≈148.6 KB for
 //! 1024 entries), and the 11-extra-bus-lines (+3.1%) augmentation of the
-//! Gigaplane-class bus. Also prints the Figure 5 parameter table.
+//! Gigaplane-class bus. Also prints the Figure 5 parameter table and a
+//! dynamic cross-check run through the harness: the observed auth-per-c2c
+//! ratio must match the configured interval-100 accounting.
 
 use senss::secure_bus::SenssExtension;
 use senss::shu::{BitMatrix, GroupInfoTable};
-use senss_sim::SystemConfig;
+use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
+use senss_bench::{ops_per_core, seed};
+use senss_workloads::Workload;
 
 fn main() {
     println!("=== SENSS §7.1 hardware overhead ===\n");
@@ -34,8 +38,29 @@ fn main() {
         "Bus lines                  : {base} (Gigaplane) + {extra} (2 msg-type + 10 GID) = +{pct:.1}%"
     );
 
+    // The figure-5 parameters come from the same materialized JobSpec the
+    // sweeps run, so this table cannot drift from what is simulated.
+    let job = sweeps::point(Workload::Ocean, 4, 4 << 20).with_mode(SecurityMode::senss());
     println!("\n=== Figure 5: architectural parameters ===\n");
-    println!("{}", SystemConfig::e6000(4, 4 << 20).figure5_table());
+    println!("{}", job.system_config().figure5_table());
 
-    println!("Paper reference: matrix 640 bytes; table 1161 bits/entry, 148.6 KB; +3.1% bus lines.");
+    // Dynamic cross-check: one harness job confirms the static accounting
+    // (auth interval 100 ⇒ one auth transaction per 100 c2c transfers).
+    let mut sweep = SweepSpec::new("hw_overhead");
+    sweep.push(job);
+    let result = sweeps::execute(&sweep);
+    let stats = result.require(&job);
+    println!(
+        "Dynamic cross-check (ocean, 4P, 4MB L2, ops/core = {}, seed = {}):",
+        ops_per_core(),
+        seed()
+    );
+    println!(
+        "  c2c transfers = {}, auth transactions = {} (expected ~ c2c/100 = {})",
+        stats.cache_to_cache_transfers,
+        stats.txn_auth,
+        stats.cache_to_cache_transfers / 100
+    );
+
+    println!("\nPaper reference: matrix 640 bytes; table 1161 bits/entry, 148.6 KB; +3.1% bus lines.");
 }

@@ -5,25 +5,38 @@
 //! overhead tracks the cache-to-cache share of bus traffic, which grows
 //! with the processor count until the single bus itself saturates.
 
-use senss::secure_bus::SenssConfig;
-use senss_bench::{ops_per_core, overhead, seed, Point};
+use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
+use senss_bench::{ops_per_core, overhead, seed};
 use senss_workloads::Workload;
+
+const CORES: [usize; 4] = [2, 4, 8, 16];
 
 fn main() {
     let ops = ops_per_core();
     let seed = seed();
     println!("=== Scaling study: SENSS (interval 100) from 2P to 16P, 4MB L2 ===");
     println!("ops/core = {ops}, seed = {seed}\n");
+
+    let mut sweep = SweepSpec::new("scaling");
+    sweep.grid(
+        &[Workload::Ocean],
+        &CORES,
+        &[4 << 20],
+        &[SecurityMode::Baseline, SecurityMode::senss()],
+        ops,
+        seed,
+    );
+    let result = sweeps::execute(&sweep);
+
     println!(
         "{:<8} {:>10} {:>10} {:>12} {:>12} {:>10}",
         "cores", "slowdown%", "traffic%", "c2c-share%", "bus-util%", "auth-txns"
     );
-    for &cores in &[2usize, 4, 8, 16] {
-        let w = Workload::Ocean;
-        let p = Point::new(w, cores, 4 << 20);
-        let base = p.run_baseline(ops, seed);
-        let sec = p.run_senss(ops, seed, SenssConfig::paper_default(cores));
-        let o = overhead(&sec, &base);
+    for &cores in &CORES {
+        let job = sweeps::point(Workload::Ocean, cores, 4 << 20);
+        let base = result.require(&job);
+        let sec = result.require(&job.with_mode(SecurityMode::senss()));
+        let o = overhead(sec, base);
         println!(
             "{:<8} {:>10.3} {:>10.3} {:>12.1} {:>12.1} {:>10}",
             cores,

@@ -12,6 +12,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod benchkit;
+pub mod sweeps;
+
 use senss::secure_bus::{SenssConfig, SenssExtension};
 use senss_memprot::{MemProtConfig, MemProtPolicy};
 use senss_sim::{NullExtension, Stats, System, SystemConfig};

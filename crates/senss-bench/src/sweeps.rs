@@ -1,0 +1,106 @@
+//! The bridge between the figure binaries and the senss-harness
+//! executor.
+//!
+//! Every figure binary follows the same pattern now: declare its grid as
+//! a [`SweepSpec`], hand it to [`execute`] (which runs it on the shared
+//! worker-pool executor with caching and run-record output), then look
+//! results up by [`JobSpec`] to build its tables. The bespoke nested
+//! simulation loops the binaries used to carry are gone.
+
+pub use senss_harness::{
+    Harness, HarnessConfig, JobSpec, RunRecord, SecurityMode, SweepResult, SweepSpec, TraceSpec,
+};
+
+use crate::{ops_per_core, overhead, seed, workload_columns, Overhead};
+use senss_workloads::Workload;
+
+/// Runs a sweep through the environment-configured harness
+/// ([`HarnessConfig::from_env`]).
+///
+/// The execution summary (jobs executed vs served from cache, worker
+/// count, wall time) and any per-job failures go to **stderr**, so
+/// figure output piped from stdout stays byte-identical regardless of
+/// worker count or cache warmth.
+///
+/// # Panics
+///
+/// Panics if the cache or record directories cannot be written.
+pub fn execute(sweep: &SweepSpec) -> SweepResult {
+    let result = Harness::from_env()
+        .run(sweep)
+        .expect("harness: cache/records I/O failed");
+    eprintln!("{}", result.summary());
+    for f in &result.failures {
+        eprintln!(
+            "harness[{}]: job {} ({}) failed after {} attempt(s): {}",
+            result.name,
+            f.index,
+            f.spec.trace.tag(),
+            f.attempts,
+            f.error
+        );
+    }
+    result
+}
+
+/// A job on workload `w` with the environment's ops/seed
+/// (`SENSS_OPS`/`SENSS_SEED`), baseline mode; refine with the `with_`
+/// builders.
+pub fn point(w: Workload, cores: usize, l2: usize) -> JobSpec {
+    JobSpec::new(w, cores, l2)
+        .with_ops(ops_per_core())
+        .with_seed(seed())
+}
+
+/// Per-workload overheads of `mode` vs the baseline at the same shape:
+/// one [`Overhead`] per paper workload, in column order. Both the
+/// baseline and secured jobs must be present in `result`.
+pub fn workload_overheads(
+    result: &SweepResult,
+    cores: usize,
+    l2: usize,
+    mode: SecurityMode,
+) -> Vec<Overhead> {
+    workload_columns()
+        .into_iter()
+        .map(|w| {
+            let base = result.require(&point(w, cores, l2));
+            let sec = result.require(&point(w, cores, l2).with_mode(mode));
+            overhead(sec, base)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_uses_env_defaults() {
+        let p = point(Workload::Fft, 2, 1 << 20);
+        assert_eq!(p.ops_per_core, ops_per_core());
+        assert_eq!(p.seed, seed());
+        assert_eq!(p.mode, SecurityMode::Baseline);
+    }
+
+    #[test]
+    fn workload_overheads_reads_back_a_sweep() {
+        // A hermetic in-process run: tiny ops, no cache/records.
+        let mut sweep = SweepSpec::new("");
+        let mode = SecurityMode::senss();
+        for w in workload_columns() {
+            sweep.push(point(w, 2, 1 << 20).with_ops(400));
+            sweep.push(point(w, 2, 1 << 20).with_ops(400).with_mode(mode));
+        }
+        let result = Harness::new(HarnessConfig::hermetic())
+            .run(&sweep)
+            .unwrap();
+        assert!(result.is_complete());
+        // Look up through the same spec constructors the binaries use.
+        let w = workload_columns()[0];
+        let base = result.require(&point(w, 2, 1 << 20).with_ops(400));
+        let sec = result.require(&point(w, 2, 1 << 20).with_ops(400).with_mode(mode));
+        assert!(base.total_cycles > 0);
+        assert!(sec.txn_auth <= sec.cache_to_cache_transfers);
+    }
+}

@@ -63,7 +63,7 @@ fn tables() -> &'static Tables {
     TABLES.get_or_init(|| {
         let mut sbox = [0u8; 256];
         let mut inv_sbox = [0u8; 256];
-        for i in 0..256 {
+        for (i, entry) in sbox.iter_mut().enumerate() {
             let inv = gf_inv(i as u8);
             // Affine transformation: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63.
             let s = inv
@@ -72,7 +72,7 @@ fn tables() -> &'static Tables {
                 ^ inv.rotate_left(3)
                 ^ inv.rotate_left(4)
                 ^ 0x63;
-            sbox[i] = s;
+            *entry = s;
             inv_sbox[s as usize] = i as u8;
         }
         Tables { sbox, inv_sbox }

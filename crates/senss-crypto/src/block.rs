@@ -77,7 +77,7 @@ impl Block {
     ///
     /// Panics if `m` is zero or greater than 128.
     pub fn prefix_bits(self, m: usize) -> Block {
-        assert!(m >= 1 && m <= 128, "MAC width must be in 1..=128 bits");
+        assert!((1..=128).contains(&m), "MAC width must be in 1..=128 bits");
         let mut out = [0u8; BLOCK_SIZE];
         let full = m / 8;
         out[..full].copy_from_slice(&self.0[..full]);

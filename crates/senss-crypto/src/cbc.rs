@@ -62,7 +62,7 @@ impl CbcEncryptor {
     ///
     /// Returns [`CryptoError::BadLength`] for non-block-multiple inputs.
     pub fn encrypt(&mut self, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-        if data.len() % 16 != 0 {
+        if !data.len().is_multiple_of(16) {
             return Err(CryptoError::BadLength { len: data.len() });
         }
         let mut out = Vec::with_capacity(data.len());
@@ -99,7 +99,7 @@ impl CbcDecryptor {
     ///
     /// Returns [`CryptoError::BadLength`] for non-block-multiple inputs.
     pub fn decrypt(&mut self, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-        if data.len() % 16 != 0 {
+        if !data.len().is_multiple_of(16) {
             return Err(CryptoError::BadLength { len: data.len() });
         }
         let mut out = Vec::with_capacity(data.len());

@@ -45,7 +45,7 @@ impl PadGenerator {
     /// Panics if `line_bytes` is not a positive multiple of 16.
     pub fn line_pad(&self, address: u64, seq: u64, line_bytes: usize) -> Vec<Block> {
         assert!(
-            line_bytes > 0 && line_bytes % 16 == 0,
+            line_bytes > 0 && line_bytes.is_multiple_of(16),
             "line size must be a positive multiple of 16 bytes"
         );
         (0..line_bytes / 16)

@@ -69,13 +69,13 @@ fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -179,7 +179,7 @@ impl PrivateKey {
     /// Returns [`CryptoError::BadLength`] if the ciphertext framing is
     /// malformed.
     pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
-        if ciphertext.len() < 8 || (ciphertext.len() - 8) % 8 != 0 {
+        if ciphertext.len() < 8 || !(ciphertext.len() - 8).is_multiple_of(8) {
             return Err(CryptoError::BadLength {
                 len: ciphertext.len(),
             });

@@ -1,111 +1,144 @@
-//! Property-based tests of the cryptographic substrate.
+//! Randomized-but-deterministic tests of the cryptographic substrate.
+//!
+//! These were property-based (proptest) tests; they now drive the same
+//! assertions from the crate's own [`SplitMix64`] generator so the suite
+//! has no external dependencies and every run checks the same cases.
 
-use proptest::prelude::*;
 use senss_crypto::aes::Aes;
 use senss_crypto::cbc::{BusChain, CbcDecryptor, CbcEncryptor};
 use senss_crypto::gcm::Gcm;
 use senss_crypto::mac::ChainedMac;
 use senss_crypto::otp::PadGenerator;
+use senss_crypto::rng::SplitMix64;
 use senss_crypto::rsa::KeyPair;
 use senss_crypto::sha256::Sha256;
 use senss_crypto::Block;
 
-fn block() -> impl Strategy<Value = Block> {
-    proptest::array::uniform16(any::<u8>()).prop_map(Block::from)
+fn bytes(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
 }
 
-fn key16() -> impl Strategy<Value = [u8; 16]> {
-    proptest::array::uniform16(any::<u8>())
+fn key16(rng: &mut SplitMix64) -> [u8; 16] {
+    let mut k = [0u8; 16];
+    rng.fill_bytes(&mut k);
+    k
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn aes_roundtrips_for_all_key_sizes(key in proptest::collection::vec(any::<u8>(), 0..64), pt in block()) {
-        // Only 16/24/32-byte keys are valid; others must error.
+#[test]
+fn aes_roundtrips_for_all_key_sizes() {
+    let mut rng = SplitMix64::new(0xA1);
+    for case in 0..64 {
+        let key_len = (case * 7) % 64;
+        let key = bytes(&mut rng, key_len);
+        let pt = rng.next_block();
         match Aes::from_key(&key) {
             Ok(aes) => {
-                prop_assert!(matches!(key.len(), 16 | 24 | 32));
-                prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+                assert!(matches!(key.len(), 16 | 24 | 32));
+                assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt);
             }
-            Err(_) => prop_assert!(!matches!(key.len(), 16 | 24 | 32)),
+            Err(_) => assert!(!matches!(key.len(), 16 | 24 | 32)),
         }
     }
+}
 
-    #[test]
-    fn aes_is_a_permutation(key in key16(), a in block(), b in block()) {
-        let aes = Aes::new_128(&key);
+#[test]
+fn aes_is_a_permutation() {
+    let mut rng = SplitMix64::new(0xA2);
+    for _ in 0..64 {
+        let aes = Aes::new_128(&key16(&mut rng));
+        let a = rng.next_block();
+        let b = rng.next_block();
         if a != b {
-            prop_assert_ne!(aes.encrypt_block(a), aes.encrypt_block(b));
+            assert_ne!(aes.encrypt_block(a), aes.encrypt_block(b));
         }
     }
+}
 
-    #[test]
-    fn cbc_roundtrips(key in key16(), iv in block(),
-                      msg in proptest::collection::vec(any::<u8>(), 0..8).prop_map(|blocks| {
-                          blocks.into_iter().flat_map(|b| [b; 16]).collect::<Vec<u8>>()
-                      })) {
+#[test]
+fn cbc_roundtrips() {
+    let mut rng = SplitMix64::new(0xA3);
+    for blocks in 0..8 {
+        let key = key16(&mut rng);
+        let iv = rng.next_block();
+        let msg = bytes(&mut rng, blocks * 16);
         let mut enc = CbcEncryptor::new(Aes::new_128(&key), iv);
         let mut dec = CbcDecryptor::new(Aes::new_128(&key), iv);
         let ct = enc.encrypt(&msg).unwrap();
-        prop_assert_eq!(dec.decrypt(&ct).unwrap(), msg);
+        assert_eq!(dec.decrypt(&ct).unwrap(), msg);
     }
+}
 
-    #[test]
-    fn bus_chain_lockstep(key in key16(), c0 in block(),
-                          data in proptest::collection::vec(block(), 1..40)) {
+#[test]
+fn bus_chain_lockstep() {
+    let mut rng = SplitMix64::new(0xA4);
+    for case in 0..32 {
+        let key = key16(&mut rng);
+        let c0 = rng.next_block();
         let mut s = BusChain::new(Aes::new_128(&key), c0);
         let mut r = BusChain::new(Aes::new_128(&key), c0);
-        for d in data {
+        for _ in 0..(1 + case % 40) {
+            let d = rng.next_block();
             let p = s.encrypt(d);
-            prop_assert_eq!(r.decrypt(p), d);
+            assert_eq!(r.decrypt(p), d);
         }
     }
+}
 
-    #[test]
-    fn gcm_roundtrips_and_rejects_tampering(
-        key in key16(),
-        iv in proptest::array::uniform12(any::<u8>()),
-        aad in proptest::collection::vec(any::<u8>(), 0..24),
-        pt in proptest::collection::vec(any::<u8>(), 0..80),
-        flip in any::<u8>(),
-    ) {
+#[test]
+fn gcm_roundtrips_and_rejects_tampering() {
+    let mut rng = SplitMix64::new(0xA5);
+    for case in 0..32 {
+        let key = key16(&mut rng);
+        let mut iv = [0u8; 12];
+        rng.fill_bytes(&mut iv);
+        let aad = bytes(&mut rng, case % 24);
+        let pt = bytes(&mut rng, (case * 5) % 80);
         let gcm = Gcm::new(Aes::new_128(&key));
         let (mut ct, tag) = gcm.encrypt(&iv, &aad, &pt);
-        prop_assert_eq!(gcm.decrypt(&iv, &aad, &ct, tag).unwrap(), pt.clone());
+        assert_eq!(gcm.decrypt(&iv, &aad, &ct, tag).unwrap(), pt);
         if !ct.is_empty() {
-            let idx = flip as usize % ct.len();
+            let idx = rng.next_below(ct.len() as u64) as usize;
             ct[idx] ^= 1;
-            prop_assert!(gcm.decrypt(&iv, &aad, &ct, tag).is_err());
+            assert!(gcm.decrypt(&iv, &aad, &ct, tag).is_err());
         }
     }
+}
 
-    #[test]
-    fn chained_mac_detects_any_single_block_substitution(
-        key in key16(), iv in block(),
-        history in proptest::collection::vec(block(), 1..24),
-        at in any::<usize>(), subst in block(),
-    ) {
-        let idx = at % history.len();
-        prop_assume!(history[idx] != subst);
+#[test]
+fn chained_mac_detects_any_single_block_substitution() {
+    let mut rng = SplitMix64::new(0xA6);
+    for case in 0..48 {
+        let key = key16(&mut rng);
+        let iv = rng.next_block();
+        let history: Vec<Block> = (0..(1 + case % 24)).map(|_| rng.next_block()).collect();
+        let idx = rng.next_below(history.len() as u64) as usize;
+        let subst = rng.next_block();
+        if history[idx] == subst {
+            continue;
+        }
         let mut honest = ChainedMac::new(Aes::new_128(&key), iv);
         let mut forged = ChainedMac::new(Aes::new_128(&key), iv);
         for (i, &b) in history.iter().enumerate() {
             honest.absorb(b);
             forged.absorb(if i == idx { subst } else { b });
         }
-        prop_assert_ne!(honest.tag(128), forged.tag(128));
+        assert_ne!(honest.tag(128), forged.tag(128));
     }
+}
 
-    #[test]
-    fn chained_mac_detects_any_adjacent_swap(
-        key in key16(), iv in block(),
-        history in proptest::collection::vec(block(), 2..24),
-        at in any::<usize>(),
-    ) {
-        let idx = at % (history.len() - 1);
-        prop_assume!(history[idx] != history[idx + 1]);
+#[test]
+fn chained_mac_detects_any_adjacent_swap() {
+    let mut rng = SplitMix64::new(0xA7);
+    for case in 0..48 {
+        let key = key16(&mut rng);
+        let iv = rng.next_block();
+        let history: Vec<Block> = (0..(2 + case % 22)).map(|_| rng.next_block()).collect();
+        let idx = rng.next_below(history.len() as u64 - 1) as usize;
+        if history[idx] == history[idx + 1] {
+            continue;
+        }
         let mut honest = ChainedMac::new(Aes::new_128(&key), iv);
         let mut swapped = ChainedMac::new(Aes::new_128(&key), iv);
         let mut reordered = history.clone();
@@ -114,39 +147,58 @@ proptest! {
             honest.absorb(a);
             swapped.absorb(b);
         }
-        prop_assert_ne!(honest.tag(128), swapped.tag(128));
+        assert_ne!(honest.tag(128), swapped.tag(128));
     }
+}
 
-    #[test]
-    fn otp_apply_is_involution(key in key16(), addr in any::<u64>(), seq in any::<u64>(),
-                               line in proptest::collection::vec(any::<u8>(), 1..5)
-                                   .prop_map(|v| v.into_iter().flat_map(|b| [b; 16]).collect::<Vec<u8>>())) {
-        let g = PadGenerator::new(Aes::new_128(&key));
+#[test]
+fn otp_apply_is_involution() {
+    let mut rng = SplitMix64::new(0xA8);
+    for blocks in 1..5 {
+        let g = PadGenerator::new(Aes::new_128(&key16(&mut rng)));
+        let addr = rng.next_u64();
+        let seq = rng.next_u64();
+        let line = bytes(&mut rng, blocks * 16);
         let mut data = line.clone();
         g.apply(addr, seq, &mut data);
         g.apply(addr, seq, &mut data);
-        prop_assert_eq!(data, line);
+        assert_eq!(data, line);
     }
+}
 
-    #[test]
-    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
-                                         split in any::<usize>()) {
-        let cut = if data.is_empty() { 0 } else { split % data.len() };
+#[test]
+fn sha256_incremental_equals_oneshot() {
+    let mut rng = SplitMix64::new(0xA9);
+    for case in 0..32 {
+        let data = bytes(&mut rng, (case * 17) % 512);
+        let cut = if data.is_empty() {
+            0
+        } else {
+            rng.next_below(data.len() as u64) as usize
+        };
         let mut h = Sha256::new();
         h.update(&data[..cut]);
         h.update(&data[cut..]);
-        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+        assert_eq!(h.finalize(), Sha256::digest(&data));
     }
+}
 
-    #[test]
-    fn rsa_roundtrips(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..40)) {
-        let kp = KeyPair::generate(seed);
+#[test]
+fn rsa_roundtrips() {
+    let mut rng = SplitMix64::new(0xAA);
+    for case in 0..8 {
+        let kp = KeyPair::generate(rng.next_u64());
+        let msg = bytes(&mut rng, (case * 5) % 40);
         let ct = kp.public.encrypt(&msg).unwrap();
-        prop_assert_eq!(kp.private.decrypt(&ct).unwrap(), msg);
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), msg);
     }
+}
 
-    #[test]
-    fn block_prefix_is_prefix(b in block(), m in 1usize..=128) {
+#[test]
+fn block_prefix_is_prefix() {
+    let mut rng = SplitMix64::new(0xAB);
+    for m in 1usize..=128 {
+        let b = rng.next_block();
         let p = b.prefix_bits(m);
         // The first m bits agree, the rest are zero.
         for bit in 0..128 {
@@ -155,9 +207,9 @@ proptest! {
             let orig = b.as_bytes()[byte] & mask;
             let pref = p.as_bytes()[byte] & mask;
             if bit < m {
-                prop_assert_eq!(orig, pref);
+                assert_eq!(orig, pref);
             } else {
-                prop_assert_eq!(pref, 0);
+                assert_eq!(pref, 0);
             }
         }
     }

@@ -1,0 +1,154 @@
+//! Content-addressed result cache, persisted as JSONL.
+//!
+//! Each entry maps a [`JobSpec::cache_key`] to the full [`Stats`] of a
+//! completed run, one JSON object per line in `<dir>/cache.jsonl`. A
+//! re-run of `run_figures.sh` therefore only executes configs whose key
+//! is absent — i.e. configs that changed (any architectural parameter,
+//! security knob, ops count, seed, or the [`CACHE_FORMAT`] version).
+//!
+//! Robustness rules:
+//! * corrupt or truncated lines are skipped, never fatal;
+//! * duplicate keys resolve to the *last* line (append-wins);
+//! * the file is append-only during a sweep, so a crash mid-run loses at
+//!   most the in-flight entry.
+//!
+//! [`JobSpec::cache_key`]: crate::spec::JobSpec::cache_key
+//! [`CACHE_FORMAT`]: crate::spec::CACHE_FORMAT
+
+use crate::json::{self, Value};
+use crate::record::{decode_stats, encode_stats};
+use senss_sim::Stats;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// The on-disk cache file name inside the cache directory.
+pub const CACHE_FILE: &str = "cache.jsonl";
+
+/// An open result cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    path: PathBuf,
+    entries: HashMap<String, Stats>,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache under `dir`.
+    pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(CACHE_FILE);
+        let mut entries = HashMap::new();
+        match File::open(&path) {
+            Ok(f) => {
+                for line in BufReader::new(f).lines() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if let Some((key, stats)) = parse_entry(&line) {
+                        entries.insert(key, stats);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(ResultCache { path, entries })
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a result by cache key.
+    pub fn get(&self, key: &str) -> Option<&Stats> {
+        self.entries.get(key)
+    }
+
+    /// Records a result, appending it to the JSONL file.
+    pub fn put(&mut self, key: &str, stats: &Stats) -> std::io::Result<()> {
+        let line = Value::Obj(vec![
+            ("key".into(), Value::Str(key.to_string())),
+            ("stats".into(), encode_stats(stats)),
+        ])
+        .encode();
+        let mut f = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        writeln!(f, "{line}")?;
+        self.entries.insert(key.to_string(), stats.clone());
+        Ok(())
+    }
+}
+
+fn parse_entry(line: &str) -> Option<(String, Stats)> {
+    let v = json::parse(line).ok()?;
+    let key = v.get("key")?.as_str()?.to_string();
+    let stats = decode_stats(v.get("stats")?)?;
+    Some((key, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "senss-harness-cache-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let dir = tmp_dir("roundtrip");
+        let stats = Stats {
+            total_cycles: 42,
+            core_ops: vec![21, 21],
+            ..Stats::default()
+        };
+        {
+            let mut c = ResultCache::open(&dir).unwrap();
+            assert!(c.is_empty());
+            c.put("k1", &stats).unwrap();
+            assert_eq!(c.get("k1"), Some(&stats));
+        }
+        let c = ResultCache::open(&dir).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("k1"), Some(&stats));
+        assert_eq!(c.get("k2"), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_and_last_write_wins() {
+        let dir = tmp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let older = Value::Obj(vec![
+            ("key".into(), Value::Str("dup".into())),
+            ("stats".into(), encode_stats(&Stats { total_cycles: 1, ..Stats::default() })),
+        ])
+        .encode();
+        let newer = Value::Obj(vec![
+            ("key".into(), Value::Str("dup".into())),
+            ("stats".into(), encode_stats(&Stats { total_cycles: 2, ..Stats::default() })),
+        ])
+        .encode();
+        fs::write(
+            dir.join(CACHE_FILE),
+            format!("{older}\nnot json at all\n{{\"key\":\"half\"\n{newer}\n"),
+        )
+        .unwrap();
+        let c = ResultCache::open(&dir).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("dup").unwrap().total_cycles, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

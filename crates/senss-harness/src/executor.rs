@@ -1,0 +1,476 @@
+//! The parallel, fault-tolerant sweep executor.
+//!
+//! Jobs are dispatched from a shared work queue to a pool of worker
+//! threads (worker count defaults to the machine's available
+//! parallelism, overridable with `HARNESS_WORKERS`). Each job runs
+//! under [`std::panic::catch_unwind`], so a poisoned configuration
+//! fails alone instead of sinking the sweep; failures classified as
+//! transient are retried with exponential backoff up to a bounded
+//! attempt count. Results are re-ordered by job index before being
+//! returned, so the output is identical no matter how many workers ran
+//! or in which order they finished.
+
+use crate::cache::ResultCache;
+use crate::record::RunRecord;
+use crate::spec::{JobSpec, SweepSpec};
+use senss_sim::Stats;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Worker thread count (clamped to at least 1).
+    pub workers: usize,
+    /// Maximum attempts per job (1 = no retry).
+    pub max_attempts: u32,
+    /// Base backoff between attempts; doubles per retry.
+    pub backoff: Duration,
+    /// Fail any job whose simulated `total_cycles` exceeds this budget.
+    pub cycle_budget: Option<u64>,
+    /// Cache directory (`None` disables caching).
+    pub cache_dir: Option<PathBuf>,
+    /// Where run-record JSONL files are written (`None` disables).
+    pub records_dir: Option<PathBuf>,
+}
+
+impl HarnessConfig {
+    /// Configuration from the environment, the one the figure binaries
+    /// use:
+    ///
+    /// * `HARNESS_WORKERS` — worker count (default: available
+    ///   parallelism);
+    /// * `HARNESS_RETRIES` — retries after the first attempt (default 2);
+    /// * `HARNESS_CYCLE_BUDGET` — per-job simulated-cycle budget
+    ///   (default: none);
+    /// * `HARNESS_NO_CACHE` — any value disables the result cache;
+    /// * cache lives under `results/cache/`, records under
+    ///   `results/records/`.
+    pub fn from_env() -> HarnessConfig {
+        let env_usize = |key: &str| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        };
+        let workers = env_usize("HARNESS_WORKERS").unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        HarnessConfig {
+            workers,
+            max_attempts: 1 + env_usize("HARNESS_RETRIES").unwrap_or(2) as u32,
+            backoff: Duration::from_millis(50),
+            cycle_budget: std::env::var("HARNESS_CYCLE_BUDGET")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            cache_dir: if std::env::var_os("HARNESS_NO_CACHE").is_some() {
+                None
+            } else {
+                Some(PathBuf::from("results/cache"))
+            },
+            records_dir: Some(PathBuf::from("results/records")),
+        }
+    }
+
+    /// A hermetic configuration for tests: one worker, no cache, no
+    /// records, no retries.
+    pub fn hermetic() -> HarnessConfig {
+        HarnessConfig {
+            workers: 1,
+            max_attempts: 1,
+            backoff: Duration::from_millis(1),
+            cycle_budget: None,
+            cache_dir: None,
+            records_dir: None,
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> HarnessConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the maximum attempts per job.
+    pub fn with_max_attempts(mut self, attempts: u32) -> HarnessConfig {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the base retry backoff.
+    pub fn with_backoff(mut self, backoff: Duration) -> HarnessConfig {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the per-job cycle budget.
+    pub fn with_cycle_budget(mut self, budget: u64) -> HarnessConfig {
+        self.cycle_budget = Some(budget);
+        self
+    }
+
+    /// Sets the cache directory.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> HarnessConfig {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the records directory.
+    pub fn with_records_dir(mut self, dir: impl Into<PathBuf>) -> HarnessConfig {
+        self.records_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Why a job failed for good.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked on every attempt; carries the last panic
+    /// message.
+    Panicked(String),
+    /// The run completed but blew the configured cycle budget
+    /// (deterministic, so never retried).
+    CycleBudgetExceeded {
+        /// Simulated cycles the run took.
+        cycles: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl JobError {
+    /// Whether another attempt could plausibly change the outcome.
+    fn retryable(&self) -> bool {
+        matches!(self, JobError::Panicked(_))
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::CycleBudgetExceeded { cycles, budget } => {
+                write!(f, "cycle budget exceeded: {cycles} > {budget}")
+            }
+        }
+    }
+}
+
+/// A job that failed after exhausting its attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Position in the sweep.
+    pub index: usize,
+    /// The failed job.
+    pub spec: JobSpec,
+    /// Final error.
+    pub error: JobError,
+    /// Attempts consumed.
+    pub attempts: u32,
+}
+
+/// The outcome of running a sweep.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Sweep name.
+    pub name: String,
+    /// Successful records, ordered by job index.
+    pub records: Vec<RunRecord>,
+    /// Failed jobs, ordered by job index.
+    pub failures: Vec<JobFailure>,
+    /// Jobs actually executed this run (cache misses that succeeded or
+    /// failed).
+    pub executed: usize,
+    /// Jobs served from the cache.
+    pub cached: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time for the whole sweep.
+    pub wall: Duration,
+    by_spec: HashMap<JobSpec, usize>,
+}
+
+impl SweepResult {
+    /// The stats of the record matching `spec`, if it succeeded.
+    pub fn stats(&self, spec: &JobSpec) -> Option<&Stats> {
+        self.by_spec.get(spec).map(|&i| &self.records[i].stats)
+    }
+
+    /// Like [`stats`](SweepResult::stats) but panics with a diagnostic —
+    /// the figure binaries treat a missing result as fatal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is absent or failed.
+    pub fn require(&self, spec: &JobSpec) -> &Stats {
+        self.stats(spec).unwrap_or_else(|| {
+            panic!(
+                "no successful result for job {spec:?} in sweep {:?} \
+                 ({} records, {} failures)",
+                self.name,
+                self.records.len(),
+                self.failures.len()
+            )
+        })
+    }
+
+    /// Whether every job produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Additive aggregate of every successful record's stats
+    /// (via [`Stats::merge`]).
+    pub fn aggregate(&self) -> Stats {
+        let mut total = Stats::default();
+        for r in &self.records {
+            total.merge(&r.stats);
+        }
+        total
+    }
+
+    /// One-line human summary (the binaries print this to stderr).
+    pub fn summary(&self) -> String {
+        format!(
+            "harness[{}]: {} executed, {} cached, {} failed on {} worker{} in {:.2?}",
+            self.name,
+            self.executed,
+            self.cached,
+            self.failures.len(),
+            self.workers,
+            if self.workers == 1 { "" } else { "s" },
+            self.wall
+        )
+    }
+}
+
+enum WorkerMsg {
+    Done {
+        index: usize,
+        stats: Stats,
+        wall_micros: u64,
+        worker: usize,
+        attempts: u32,
+    },
+    Failed(JobFailure),
+}
+
+/// The sweep executor.
+#[derive(Debug)]
+pub struct Harness {
+    cfg: HarnessConfig,
+}
+
+impl Harness {
+    /// An executor with an explicit configuration.
+    pub fn new(cfg: HarnessConfig) -> Harness {
+        Harness { cfg }
+    }
+
+    /// An executor configured from the environment
+    /// ([`HarnessConfig::from_env`]).
+    pub fn from_env() -> Harness {
+        Harness::new(HarnessConfig::from_env())
+    }
+
+    /// Runs the sweep with the production runner ([`JobSpec::run`]).
+    pub fn run(&self, sweep: &SweepSpec) -> std::io::Result<SweepResult> {
+        self.run_with(sweep, JobSpec::run)
+    }
+
+    /// Runs the sweep with a caller-supplied job runner. Used by the
+    /// fault-injection tests; the runner must be deterministic for the
+    /// cache to be meaningful.
+    pub fn run_with<F>(&self, sweep: &SweepSpec, runner: F) -> std::io::Result<SweepResult>
+    where
+        F: Fn(&JobSpec) -> Stats + Sync,
+    {
+        let started = Instant::now();
+        let mut cache = match &self.cfg.cache_dir {
+            Some(dir) => Some(ResultCache::open(dir)?),
+            None => None,
+        };
+
+        // Partition into cache hits and jobs that must execute.
+        let keys: Vec<String> = sweep.jobs.iter().map(JobSpec::cache_key).collect();
+        let mut slots: Vec<Option<RunRecord>> = Vec::with_capacity(sweep.jobs.len());
+        let mut pending: VecDeque<usize> = VecDeque::new();
+        for (index, spec) in sweep.jobs.iter().enumerate() {
+            match cache.as_ref().and_then(|c| c.get(&keys[index])) {
+                Some(stats) => slots.push(Some(RunRecord {
+                    index,
+                    spec: *spec,
+                    key: keys[index].clone(),
+                    stats: stats.clone(),
+                    wall_micros: 0,
+                    worker: None,
+                    attempts: 0,
+                    cached: true,
+                })),
+                None => {
+                    slots.push(None);
+                    pending.push_back(index);
+                }
+            }
+        }
+        let cached = sweep.jobs.len() - pending.len();
+        let to_execute = pending.len();
+
+        let mut failures: Vec<JobFailure> = Vec::new();
+        if !pending.is_empty() {
+            let workers = self.cfg.workers.max(1).min(pending.len());
+            let queue = Mutex::new(pending);
+            let (tx, rx) = mpsc::channel::<WorkerMsg>();
+            let jobs = &sweep.jobs;
+            let cfg = &self.cfg;
+            let runner = &runner;
+            std::thread::scope(|scope| {
+                for worker in 0..workers {
+                    let tx = tx.clone();
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        loop {
+                            let index = match queue.lock().expect("queue poisoned").pop_front() {
+                                Some(i) => i,
+                                None => break,
+                            };
+                            let msg = run_one(cfg, runner, &jobs[index], index, worker);
+                            if tx.send(msg).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                // Collect on the main thread, which is also the only
+                // cache writer.
+                for msg in rx {
+                    match msg {
+                        WorkerMsg::Done {
+                            index,
+                            stats,
+                            wall_micros,
+                            worker,
+                            attempts,
+                        } => {
+                            if let Some(c) = cache.as_mut() {
+                                // Append errors are demoted to warnings:
+                                // losing a cache entry never loses a run.
+                                if let Err(e) = c.put(&keys[index], &stats) {
+                                    eprintln!("harness: cache write failed: {e}");
+                                }
+                            }
+                            slots[index] = Some(RunRecord {
+                                index,
+                                spec: jobs[index],
+                                key: keys[index].clone(),
+                                stats,
+                                wall_micros,
+                                worker: Some(worker),
+                                attempts,
+                                cached: false,
+                            });
+                        }
+                        WorkerMsg::Failed(failure) => failures.push(failure),
+                    }
+                }
+            });
+        }
+
+        failures.sort_by_key(|f| f.index);
+        let records: Vec<RunRecord> = slots.into_iter().flatten().collect();
+        let mut by_spec = HashMap::new();
+        for (i, r) in records.iter().enumerate() {
+            by_spec.insert(r.spec, i);
+        }
+        let result = SweepResult {
+            name: sweep.name.clone(),
+            records,
+            failures,
+            executed: to_execute,
+            cached,
+            workers: self.cfg.workers.max(1),
+            wall: started.elapsed(),
+            by_spec,
+        };
+        self.write_records(&result)?;
+        Ok(result)
+    }
+
+    fn write_records(&self, result: &SweepResult) -> std::io::Result<()> {
+        let Some(dir) = &self.cfg.records_dir else {
+            return Ok(());
+        };
+        if result.name.is_empty() {
+            return Ok(());
+        }
+        std::fs::create_dir_all(dir)?;
+        let mut out = String::new();
+        for r in &result.records {
+            out.push_str(&r.encode());
+            out.push('\n');
+        }
+        std::fs::write(dir.join(format!("{}.jsonl", result.name)), out)
+    }
+}
+
+fn run_one<F>(
+    cfg: &HarnessConfig,
+    runner: &F,
+    spec: &JobSpec,
+    index: usize,
+    worker: usize,
+) -> WorkerMsg
+where
+    F: Fn(&JobSpec) -> Stats + Sync,
+{
+    let started = Instant::now();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| runner(spec)));
+        let error = match outcome {
+            Ok(stats) => match cfg.cycle_budget {
+                Some(budget) if stats.total_cycles > budget => JobError::CycleBudgetExceeded {
+                    cycles: stats.total_cycles,
+                    budget,
+                },
+                _ => {
+                    return WorkerMsg::Done {
+                        index,
+                        stats,
+                        wall_micros: started.elapsed().as_micros() as u64,
+                        worker,
+                        attempts,
+                    }
+                }
+            },
+            Err(payload) => JobError::Panicked(panic_message(payload.as_ref())),
+        };
+        if attempts >= cfg.max_attempts || !error.retryable() {
+            return WorkerMsg::Failed(JobFailure {
+                index,
+                spec: *spec,
+                error,
+                attempts,
+            });
+        }
+        // Exponential backoff before the next attempt.
+        std::thread::sleep(cfg.backoff * 2u32.saturating_pow(attempts - 1));
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

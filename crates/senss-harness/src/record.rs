@@ -1,0 +1,229 @@
+//! Structured run records: the JSONL output layer.
+//!
+//! Every executed (or cache-served) job produces a [`RunRecord`]
+//! carrying the full [`Stats`] struct plus execution metadata (wall
+//! time, worker id, attempts, cache provenance). Records serialize one
+//! per line to `results/records/<sweep>.jsonl`; the same `Stats`
+//! encoding backs the result cache.
+
+use crate::json::Value;
+use crate::spec::JobSpec;
+use senss_sim::Stats;
+
+/// Lists every scalar `u64` counter of [`Stats`] exactly once; the
+/// encoder and decoder both expand it, so the two can never drift.
+macro_rules! for_each_stats_counter {
+    ($apply:ident!($($extra:tt)*)) => {
+        $apply!($($extra)*;
+            total_cycles,
+            ops_executed,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            upgrades,
+            txn_read,
+            txn_read_exclusive,
+            txn_upgrade,
+            txn_update,
+            txn_writeback,
+            txn_hash_fetch,
+            txn_hash_writeback,
+            txn_auth,
+            txn_pad_invalidate,
+            txn_pad_request,
+            cache_to_cache_transfers,
+            memory_transfers,
+            bus_busy_cycles,
+            bus_bytes,
+            mask_stall_cycles,
+            integrity_check_cycles,
+            mask_stalled_transfers
+        )
+    };
+}
+
+macro_rules! encode_counters {
+    ($stats:ident; $($name:ident),+) => {
+        vec![ $( (stringify!($name).to_string(), Value::UInt($stats.$name)) ),+ ]
+    };
+}
+
+macro_rules! decode_counters {
+    ($obj:ident, $stats:ident; $($name:ident),+) => {
+        $( $stats.$name = $obj.get(stringify!($name)).and_then(Value::as_u64).unwrap_or(0); )+
+    };
+}
+
+/// Encodes the full [`Stats`] struct as a JSON object.
+pub fn encode_stats(stats: &Stats) -> Value {
+    let mut fields: Vec<(String, Value)> = for_each_stats_counter!(encode_counters!(stats));
+    fields.push((
+        "core_finish_times".to_string(),
+        Value::Arr(stats.core_finish_times.iter().map(|&v| Value::UInt(v)).collect()),
+    ));
+    fields.push((
+        "core_ops".to_string(),
+        Value::Arr(stats.core_ops.iter().map(|&v| Value::UInt(v)).collect()),
+    ));
+    Value::Obj(fields)
+}
+
+/// Decodes a [`Stats`] object; absent counters default to zero (forward
+/// compatibility for counters added later).
+pub fn decode_stats(obj: &Value) -> Option<Stats> {
+    if !matches!(obj, Value::Obj(_)) {
+        return None;
+    }
+    let mut stats = Stats::default();
+    for_each_stats_counter!(decode_counters!(obj, stats));
+    let arr = |key: &str| -> Vec<u64> {
+        obj.get(key)
+            .and_then(Value::as_arr)
+            .map(|items| items.iter().filter_map(Value::as_u64).collect())
+            .unwrap_or_default()
+    };
+    stats.core_finish_times = arr("core_finish_times");
+    stats.core_ops = arr("core_ops");
+    Some(stats)
+}
+
+/// One job's complete execution record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Position of the job in its sweep (records are emitted in this
+    /// order regardless of completion order).
+    pub index: usize,
+    /// The job that ran.
+    pub spec: JobSpec,
+    /// Content-addressed cache key of the job.
+    pub key: String,
+    /// Full simulation statistics.
+    pub stats: Stats,
+    /// Wall-clock execution time in microseconds (0 for cache hits).
+    pub wall_micros: u64,
+    /// Executor worker that ran the job (`None` for cache hits).
+    pub worker: Option<usize>,
+    /// Attempts consumed (1 = first try succeeded; 0 for cache hits).
+    pub attempts: u32,
+    /// Whether the result was served from the cache.
+    pub cached: bool,
+}
+
+impl RunRecord {
+    /// Serializes the record as one JSONL line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let spec = &self.spec;
+        let coherence = match spec.coherence {
+            senss_sim::config::CoherenceProtocol::WriteInvalidate => "invalidate",
+            senss_sim::config::CoherenceProtocol::WriteUpdate => "update",
+        };
+        Value::Obj(vec![
+            ("index".into(), Value::UInt(self.index as u64)),
+            ("key".into(), Value::Str(self.key.clone())),
+            ("trace".into(), Value::Str(spec.trace.tag().to_string())),
+            ("cores".into(), Value::UInt(spec.cores as u64)),
+            ("l2_bytes".into(), Value::UInt(spec.l2_bytes as u64)),
+            ("coherence".into(), Value::Str(coherence.to_string())),
+            ("mode".into(), Value::Str(spec.mode.tag())),
+            ("ops_per_core".into(), Value::UInt(spec.ops_per_core as u64)),
+            ("seed".into(), Value::UInt(spec.seed)),
+            ("wall_micros".into(), Value::UInt(self.wall_micros)),
+            (
+                "worker".into(),
+                match self.worker {
+                    Some(w) => Value::UInt(w as u64),
+                    None => Value::Str("cache".into()),
+                },
+            ),
+            ("attempts".into(), Value::UInt(self.attempts as u64)),
+            ("cached".into(), Value::Bool(self.cached)),
+            ("stats".into(), encode_stats(&self.stats)),
+        ])
+        .encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::spec::SecurityMode;
+    use senss_workloads::Workload;
+
+    fn sample_stats() -> Stats {
+        Stats {
+            total_cycles: 123_456,
+            ops_executed: 999,
+            txn_auth: 7,
+            mask_stall_cycles: 3,
+            core_finish_times: vec![10, 20],
+            core_ops: vec![500, 499],
+            ..Stats::default()
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip_every_field() {
+        // Fill every counter with a distinct value via merge of defaults.
+        let mut s = sample_stats();
+        s.l1_hits = 1;
+        s.l1_misses = 2;
+        s.l2_hits = 3;
+        s.l2_misses = 4;
+        s.upgrades = 5;
+        s.txn_read = 6;
+        s.txn_read_exclusive = 7;
+        s.txn_upgrade = 8;
+        s.txn_update = 9;
+        s.txn_writeback = 10;
+        s.txn_hash_fetch = 11;
+        s.txn_hash_writeback = 12;
+        s.txn_pad_invalidate = 13;
+        s.txn_pad_request = 14;
+        s.cache_to_cache_transfers = 15;
+        s.memory_transfers = 16;
+        s.bus_busy_cycles = 17;
+        s.bus_bytes = 18;
+        s.integrity_check_cycles = 19;
+        s.mask_stalled_transfers = 20;
+        let encoded = encode_stats(&s).encode();
+        let decoded = decode_stats(&json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn missing_counters_default_to_zero() {
+        let decoded =
+            decode_stats(&json::parse(r#"{"total_cycles": 5}"#).unwrap()).unwrap();
+        assert_eq!(decoded.total_cycles, 5);
+        assert_eq!(decoded.txn_auth, 0);
+        assert!(decoded.core_ops.is_empty());
+    }
+
+    #[test]
+    fn record_lines_parse_back() {
+        let spec = JobSpec::new(Workload::Ocean, 4, 1 << 20)
+            .with_mode(SecurityMode::senss())
+            .with_ops(5_000);
+        let rec = RunRecord {
+            index: 3,
+            spec,
+            key: spec.cache_key(),
+            stats: sample_stats(),
+            wall_micros: 1234,
+            worker: Some(1),
+            attempts: 1,
+            cached: false,
+        };
+        let parsed = json::parse(&rec.encode()).unwrap();
+        assert_eq!(parsed.get("index").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed.get("trace").unwrap().as_str(), Some("ocean"));
+        assert_eq!(
+            parsed.get("mode").unwrap().as_str(),
+            Some("senss:m8:i100:cbc")
+        );
+        let stats = decode_stats(parsed.get("stats").unwrap()).unwrap();
+        assert_eq!(stats, sample_stats());
+    }
+}

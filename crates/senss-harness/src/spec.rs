@@ -1,0 +1,511 @@
+//! Declarative experiment specification: what to run, as data.
+//!
+//! A [`JobSpec`] is one simulation point — a trace source on a machine
+//! shape under a [`SecurityMode`] — and a [`SweepSpec`] is an ordered
+//! list of them, typically produced by [`SweepSpec::grid`] instead of
+//! the nested `for` loops the figure binaries used to hand-roll.
+//!
+//! Every field that influences the simulation result is part of the
+//! spec, which is what makes the content-addressed cache sound: the
+//! cache key ([`JobSpec::cache_key`]) is a SHA-256 over the canonical
+//! rendering of the *materialized* configuration (every architectural
+//! parameter, not just the grid coordinates), so a change to the E6000
+//! defaults or to the security layer's knobs invalidates exactly the
+//! affected entries.
+
+use senss::secure_bus::{CipherMode, SenssConfig, SenssExtension};
+use senss_crypto::sha256::Sha256;
+use senss_memprot::{MemProtConfig, MemProtPolicy};
+use senss_sim::config::CoherenceProtocol;
+use senss_sim::trace::VecTrace;
+use senss_sim::{NullExtension, Stats, System, SystemConfig};
+use senss_workloads::{micro, Workload};
+
+/// Bumped whenever the meaning of cached results changes (simulator
+/// semantics, stats layout, canonical-form layout). Part of every cache
+/// key, so a bump invalidates the whole cache at once.
+pub const CACHE_FORMAT: u32 = 1;
+
+/// Which security stack the job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityMode {
+    /// The insecure baseline (no SENSS extension).
+    Baseline,
+    /// SENSS bus security only (§4).
+    Senss {
+        /// Encryption mask count (`usize::MAX` = the paper's "Perfect").
+        masks: usize,
+        /// Cache-to-cache transfers between authentication rounds.
+        auth_interval: u64,
+        /// Encryption/authentication algorithm pair.
+        cipher: CipherMode,
+    },
+    /// SENSS plus the §6 cache-to-memory protection stack (Figure 10).
+    Integrated {
+        /// Encryption mask count.
+        masks: usize,
+        /// Cache-to-cache transfers between authentication rounds.
+        auth_interval: u64,
+        /// Encryption/authentication algorithm pair.
+        cipher: CipherMode,
+    },
+}
+
+impl SecurityMode {
+    /// SENSS with the paper's defaults (8 masks, interval 100, CBC).
+    pub fn senss() -> SecurityMode {
+        let d = SenssConfig::paper_default(1);
+        SecurityMode::Senss {
+            masks: d.num_masks,
+            auth_interval: d.auth_interval,
+            cipher: d.cipher,
+        }
+    }
+
+    /// SENSS with a specific mask count, other knobs at paper defaults.
+    pub fn senss_masks(masks: usize) -> SecurityMode {
+        match SecurityMode::senss() {
+            SecurityMode::Senss {
+                auth_interval,
+                cipher,
+                ..
+            } => SecurityMode::Senss {
+                masks,
+                auth_interval,
+                cipher,
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    /// SENSS with a specific auth interval, other knobs at paper defaults.
+    pub fn senss_interval(auth_interval: u64) -> SecurityMode {
+        match SecurityMode::senss() {
+            SecurityMode::Senss { masks, cipher, .. } => SecurityMode::Senss {
+                masks,
+                auth_interval,
+                cipher,
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    /// The integrated stack (Figure 10) with paper-default bus security.
+    pub fn integrated() -> SecurityMode {
+        match SecurityMode::senss() {
+            SecurityMode::Senss {
+                masks,
+                auth_interval,
+                cipher,
+            } => SecurityMode::Integrated {
+                masks,
+                auth_interval,
+                cipher,
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    /// Canonical tag used in cache keys and run records.
+    pub fn tag(&self) -> String {
+        fn cipher_tag(c: CipherMode) -> &'static str {
+            match c {
+                CipherMode::CbcTwoPass => "cbc",
+                CipherMode::GcmSinglePass => "gcm",
+            }
+        }
+        match self {
+            SecurityMode::Baseline => "baseline".to_string(),
+            SecurityMode::Senss {
+                masks,
+                auth_interval,
+                cipher,
+            } => format!("senss:m{masks}:i{auth_interval}:{}", cipher_tag(*cipher)),
+            SecurityMode::Integrated {
+                masks,
+                auth_interval,
+                cipher,
+            } => format!(
+                "integrated:m{masks}:i{auth_interval}:{}",
+                cipher_tag(*cipher)
+            ),
+        }
+    }
+}
+
+/// The trace source a job simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceSpec {
+    /// One of the five paper workloads.
+    Workload(Workload),
+    /// The §7.8 false-sharing microbenchmark (always 2 cores).
+    FalseSharing,
+    /// The worst-case mask-pressure ping-pong microbenchmark.
+    PingPong,
+    /// The zero-sharing private-stream microbenchmark.
+    PrivateStream,
+}
+
+impl TraceSpec {
+    /// Canonical tag used in cache keys and run records.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceSpec::Workload(w) => w.name(),
+            TraceSpec::FalseSharing => "micro:false_sharing",
+            TraceSpec::PingPong => "micro:ping_pong",
+            TraceSpec::PrivateStream => "micro:private_stream",
+        }
+    }
+}
+
+impl From<Workload> for TraceSpec {
+    fn from(w: Workload) -> TraceSpec {
+        TraceSpec::Workload(w)
+    }
+}
+
+/// One experiment point: a fully-specified simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobSpec {
+    /// What trace to drive the cores with.
+    pub trace: TraceSpec,
+    /// Processor count.
+    pub cores: usize,
+    /// L2 capacity in bytes.
+    pub l2_bytes: usize,
+    /// Data coherence protocol.
+    pub coherence: CoherenceProtocol,
+    /// Security stack.
+    pub mode: SecurityMode,
+    /// Trace operations per core.
+    pub ops_per_core: usize,
+    /// Workload generator seed.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// A baseline job on the E6000 shape; refine with the `with_`
+    /// builders.
+    pub fn new(trace: impl Into<TraceSpec>, cores: usize, l2_bytes: usize) -> JobSpec {
+        JobSpec {
+            trace: trace.into(),
+            cores,
+            l2_bytes,
+            coherence: CoherenceProtocol::WriteInvalidate,
+            mode: SecurityMode::Baseline,
+            ops_per_core: 10_000,
+            seed: 42,
+        }
+    }
+
+    /// Sets the security mode.
+    pub fn with_mode(mut self, mode: SecurityMode) -> JobSpec {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the coherence protocol.
+    pub fn with_coherence(mut self, coherence: CoherenceProtocol) -> JobSpec {
+        self.coherence = coherence;
+        self
+    }
+
+    /// Sets the per-core operation count.
+    pub fn with_ops(mut self, ops_per_core: usize) -> JobSpec {
+        self.ops_per_core = ops_per_core;
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn with_seed(mut self, seed: u64) -> JobSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// The materialized architectural configuration.
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig::e6000(self.cores, self.l2_bytes).with_coherence(self.coherence)
+    }
+
+    fn traces(&self) -> Vec<VecTrace> {
+        match self.trace {
+            TraceSpec::Workload(w) => w.generate(self.cores, self.ops_per_core, self.seed),
+            TraceSpec::FalseSharing => {
+                assert_eq!(
+                    self.cores, 2,
+                    "the false-sharing micro-trace is a 2-core scenario"
+                );
+                micro::false_sharing(self.ops_per_core)
+            }
+            TraceSpec::PingPong => micro::ping_pong(self.cores, self.ops_per_core),
+            TraceSpec::PrivateStream => micro::private_stream(self.cores, self.ops_per_core),
+        }
+    }
+
+    fn senss_config(&self, masks: usize, auth_interval: u64, cipher: CipherMode) -> SenssConfig {
+        SenssConfig::paper_default(self.cores)
+            .with_masks(masks)
+            .with_auth_interval(auth_interval)
+            .with_cipher(cipher)
+    }
+
+    /// Executes the job synchronously, returning the run's [`Stats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configurations (e.g. a non-power-of-two L2);
+    /// the executor isolates such panics per job.
+    pub fn run(&self) -> Stats {
+        let cfg = self.system_config();
+        let traces = self.traces();
+        match self.mode {
+            SecurityMode::Baseline => System::new(cfg, traces, NullExtension).run(),
+            SecurityMode::Senss {
+                masks,
+                auth_interval,
+                cipher,
+            } => {
+                let ext = SenssExtension::new(self.senss_config(masks, auth_interval, cipher));
+                System::new(cfg, traces, ext).run()
+            }
+            SecurityMode::Integrated {
+                masks,
+                auth_interval,
+                cipher,
+            } => {
+                let policy = MemProtPolicy::new(MemProtConfig::paper_default(self.cores));
+                let ext = SenssExtension::new(self.senss_config(masks, auth_interval, cipher))
+                    .with_memory_protection(policy);
+                System::new(cfg, traces, ext).run()
+            }
+        }
+    }
+
+    /// Canonical rendering of everything that determines the result.
+    ///
+    /// Includes the materialized [`SystemConfig`] fields — not just the
+    /// grid coordinates — so changing the E6000 defaults changes the
+    /// keys of every affected job.
+    pub fn canonical(&self) -> String {
+        let c = self.system_config();
+        let coherence = match c.coherence {
+            CoherenceProtocol::WriteInvalidate => "invalidate",
+            CoherenceProtocol::WriteUpdate => "update",
+        };
+        format!(
+            "v{CACHE_FORMAT}|trace={}|mode={}|ops={}|seed={}|p={}|l1={}:{}:{}:{}|l2={}:{}:{}:{}|\
+             lat={}:{}|bus={}:{}|crypto={}:{}|coh={coherence}",
+            self.trace.tag(),
+            self.mode.tag(),
+            self.ops_per_core,
+            self.seed,
+            c.num_processors,
+            c.l1_size,
+            c.l1_ways,
+            c.l1_line,
+            c.l1_hit_latency,
+            c.l2_size,
+            c.l2_ways,
+            c.l2_line,
+            c.l2_hit_latency,
+            c.cache_to_cache_latency,
+            c.cache_to_memory_latency,
+            c.bus_cycle,
+            c.bus_width,
+            c.aes_latency,
+            c.hash_latency,
+        )
+    }
+
+    /// The content-addressed cache key: hex SHA-256 of [`canonical`].
+    ///
+    /// [`canonical`]: JobSpec::canonical
+    pub fn cache_key(&self) -> String {
+        let digest = Sha256::digest(self.canonical().as_bytes());
+        let mut out = String::with_capacity(64);
+        for b in digest {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out
+    }
+}
+
+/// An ordered set of jobs to execute as one unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Sweep name: names the run-record file and shows up in logs.
+    pub name: String,
+    /// The jobs, in result order (the executor preserves this order in
+    /// its output no matter which worker finishes first).
+    pub jobs: Vec<JobSpec>,
+}
+
+impl SweepSpec {
+    /// An empty sweep.
+    pub fn new(name: &str) -> SweepSpec {
+        SweepSpec {
+            name: name.to_string(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Appends one job.
+    pub fn push(&mut self, job: JobSpec) -> &mut SweepSpec {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Appends the full cross product `modes × cores × l2s × workloads`
+    /// (outermost to innermost), the grid every figure sweeps some slice
+    /// of. Axes with a single value cost nothing to include.
+    pub fn grid(
+        &mut self,
+        workloads: &[Workload],
+        cores: &[usize],
+        l2s: &[usize],
+        modes: &[SecurityMode],
+        ops_per_core: usize,
+        seed: u64,
+    ) -> &mut SweepSpec {
+        for &mode in modes {
+            for &c in cores {
+                for &l2 in l2s {
+                    for &w in workloads {
+                        self.push(
+                            JobSpec::new(w, c, l2)
+                                .with_mode(mode)
+                                .with_ops(ops_per_core)
+                                .with_seed(seed),
+                        );
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the sweep has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_keys_are_stable_and_distinct() {
+        let a = JobSpec::new(Workload::Fft, 2, 1 << 20);
+        let b = JobSpec::new(Workload::Fft, 2, 1 << 20);
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_ne!(
+            a.cache_key(),
+            a.with_seed(43).cache_key(),
+            "seed must be part of the key"
+        );
+        assert_ne!(
+            a.cache_key(),
+            a.with_mode(SecurityMode::senss()).cache_key(),
+            "mode must be part of the key"
+        );
+        assert_ne!(
+            a.cache_key(),
+            JobSpec::new(Workload::Fft, 4, 1 << 20).cache_key(),
+            "shape must be part of the key"
+        );
+        assert_ne!(
+            a.cache_key(),
+            a.with_coherence(CoherenceProtocol::WriteUpdate).cache_key(),
+            "protocol must be part of the key"
+        );
+    }
+
+    #[test]
+    fn canonical_includes_materialized_parameters() {
+        let c = JobSpec::new(Workload::Lu, 4, 4 << 20).canonical();
+        assert!(c.contains("lat=120:180"), "{c}");
+        assert!(c.contains("crypto=80:160"), "{c}");
+        assert!(c.contains("mode=baseline"), "{c}");
+    }
+
+    #[test]
+    fn grid_order_is_deterministic() {
+        let mut s1 = SweepSpec::new("g");
+        let mut s2 = SweepSpec::new("g");
+        let modes = [SecurityMode::Baseline, SecurityMode::senss()];
+        for s in [&mut s1, &mut s2] {
+            s.grid(
+                &Workload::all(),
+                &[2, 4],
+                &[1 << 20],
+                &modes,
+                1_000,
+                1,
+            );
+        }
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 5 * 2 * 2);
+    }
+
+    #[test]
+    fn mode_constructors_mirror_paper_defaults() {
+        let d = SenssConfig::paper_default(4);
+        match SecurityMode::senss() {
+            SecurityMode::Senss {
+                masks,
+                auth_interval,
+                cipher,
+            } => {
+                assert_eq!(masks, d.num_masks);
+                assert_eq!(auth_interval, d.auth_interval);
+                assert_eq!(cipher, d.cipher);
+            }
+            _ => panic!("wrong variant"),
+        }
+        assert!(matches!(
+            SecurityMode::integrated(),
+            SecurityMode::Integrated { .. }
+        ));
+        assert_eq!(SecurityMode::senss_interval(1).tag(), "senss:m8:i1:cbc");
+        assert_eq!(
+            SecurityMode::senss_masks(usize::MAX).tag(),
+            format!("senss:m{}:i100:cbc", usize::MAX)
+        );
+    }
+
+    #[test]
+    fn jobs_run_all_modes() {
+        for mode in [
+            SecurityMode::Baseline,
+            SecurityMode::senss(),
+            SecurityMode::integrated(),
+        ] {
+            let stats = JobSpec::new(Workload::Lu, 2, 1 << 20)
+                .with_mode(mode)
+                .with_ops(800)
+                .run();
+            assert!(stats.total_cycles > 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn micro_traces_run() {
+        let stats = JobSpec {
+            trace: TraceSpec::FalseSharing,
+            cores: 2,
+            l2_bytes: 1 << 20,
+            coherence: CoherenceProtocol::WriteInvalidate,
+            mode: SecurityMode::Baseline,
+            ops_per_core: 500,
+            seed: 0,
+        }
+        .run();
+        assert!(stats.total_cycles > 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Integration tests for the sweep executor: determinism across worker
+//! counts, per-job panic isolation, retry, cycle budgets, and the
+//! content-addressed cache.
+
+use senss_harness::{Harness, HarnessConfig, JobError, JobSpec, SecurityMode, SweepSpec};
+use senss_sim::Stats;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+use senss_workloads::Workload;
+
+fn small_sweep(name: &str) -> SweepSpec {
+    let mut sweep = SweepSpec::new(name);
+    sweep.grid(
+        &[Workload::Fft, Workload::Lu, Workload::Radix],
+        &[2, 4],
+        &[1 << 20],
+        &[SecurityMode::Baseline, SecurityMode::senss()],
+        500,
+        7,
+    );
+    sweep
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "senss-harness-it-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A synthetic runner whose output depends only on the spec, so results
+/// are comparable across worker counts without simulator cost.
+fn synthetic(spec: &JobSpec) -> Stats {
+    Stats {
+        total_cycles: spec.seed * 1000 + spec.cores as u64,
+        ops_executed: spec.ops_per_core as u64,
+        ..Stats::default()
+    }
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_exactly() {
+    let sweep = small_sweep("det");
+    let serial = Harness::new(HarnessConfig::hermetic())
+        .run(&sweep)
+        .unwrap();
+    let parallel = Harness::new(HarnessConfig::hermetic().with_workers(4))
+        .run(&sweep)
+        .unwrap();
+    assert!(serial.is_complete() && parallel.is_complete());
+    assert_eq!(serial.records.len(), sweep.len());
+    // Identical specs, order and stats — worker count must be invisible.
+    for (a, b) in serial.records.iter().zip(&parallel.records) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.stats, b.stats);
+    }
+    // Records come back in sweep order.
+    for (i, r) in parallel.records.iter().enumerate() {
+        assert_eq!(r.index, i);
+        assert_eq!(r.spec, sweep.jobs[i]);
+    }
+}
+
+#[test]
+fn a_panicking_job_fails_alone() {
+    let mut sweep = SweepSpec::new("panic");
+    sweep.grid(
+        &[Workload::Fft, Workload::Barnes, Workload::Ocean],
+        &[2],
+        &[1 << 20],
+        &[SecurityMode::Baseline],
+        100,
+        1,
+    );
+    let poison = sweep.jobs[1];
+    let result = Harness::new(HarnessConfig::hermetic().with_workers(3))
+        .run_with(&sweep, |spec| {
+            if *spec == poison {
+                panic!("injected failure");
+            }
+            synthetic(spec)
+        })
+        .unwrap();
+    // The poisoned job is the only casualty.
+    assert_eq!(result.failures.len(), 1);
+    assert_eq!(result.failures[0].spec, poison);
+    assert!(matches!(
+        &result.failures[0].error,
+        JobError::Panicked(msg) if msg.contains("injected failure")
+    ));
+    assert_eq!(result.records.len(), sweep.len() - 1);
+    assert!(result.stats(&poison).is_none());
+    assert!(result.stats(&sweep.jobs[0]).is_some());
+    assert!(result.stats(&sweep.jobs[2]).is_some());
+}
+
+#[test]
+fn transient_panics_are_retried_until_the_attempt_budget() {
+    let mut sweep = SweepSpec::new("retry");
+    sweep.push(JobSpec::new(Workload::Fft, 2, 1 << 20));
+    let calls = AtomicUsize::new(0);
+    let cfg = HarnessConfig::hermetic()
+        .with_max_attempts(3)
+        .with_backoff(Duration::from_millis(1));
+    // Fails twice, then succeeds: must be rescued on the third attempt.
+    let result = Harness::new(cfg.clone())
+        .run_with(&sweep, |spec| {
+            if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            synthetic(spec)
+        })
+        .unwrap();
+    assert!(result.is_complete());
+    assert_eq!(result.records[0].attempts, 3);
+    assert_eq!(calls.load(Ordering::SeqCst), 3);
+
+    // Always failing: gives up after exactly max_attempts.
+    let calls = AtomicUsize::new(0);
+    let result = Harness::new(cfg)
+        .run_with(&sweep, |_| -> Stats {
+            calls.fetch_add(1, Ordering::SeqCst);
+            panic!("permanent")
+        })
+        .unwrap();
+    assert_eq!(result.failures.len(), 1);
+    assert_eq!(result.failures[0].attempts, 3);
+    assert_eq!(calls.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+fn cycle_budget_violations_fail_without_retry() {
+    let mut sweep = SweepSpec::new("budget");
+    sweep.push(JobSpec::new(Workload::Fft, 2, 1 << 20).with_seed(5));
+    sweep.push(JobSpec::new(Workload::Fft, 2, 1 << 20).with_seed(1));
+    let calls = AtomicUsize::new(0);
+    let result = Harness::new(
+        HarnessConfig::hermetic()
+            .with_max_attempts(3)
+            .with_cycle_budget(2_000),
+    )
+    .run_with(&sweep, |spec| {
+        calls.fetch_add(1, Ordering::SeqCst);
+        synthetic(spec) // seed 5 ⇒ 5002 cycles > budget; seed 1 ⇒ 1002 ok
+    })
+    .unwrap();
+    assert_eq!(result.records.len(), 1);
+    assert_eq!(result.failures.len(), 1);
+    assert_eq!(
+        result.failures[0].error,
+        JobError::CycleBudgetExceeded {
+            cycles: 5_002,
+            budget: 2_000
+        }
+    );
+    // Deterministic overrun: retrying would waste time, so it must not.
+    assert_eq!(calls.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn warm_cache_executes_zero_jobs() {
+    let dir = tmp_dir("warm");
+    let sweep = small_sweep("cache");
+    let cfg = HarnessConfig::hermetic().with_cache_dir(&dir);
+    let cold = Harness::new(cfg.clone()).run(&sweep).unwrap();
+    assert_eq!(cold.executed, sweep.len());
+    assert_eq!(cold.cached, 0);
+
+    let warm = Harness::new(cfg.clone()).run(&sweep).unwrap();
+    assert_eq!(warm.executed, 0, "second run must execute nothing");
+    assert_eq!(warm.cached, sweep.len());
+    for (a, b) in cold.records.iter().zip(&warm.records) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.stats, b.stats);
+        assert!(b.cached);
+        assert_eq!(b.worker, None);
+    }
+
+    // A changed config is a cache miss; the unchanged jobs still hit.
+    let mut extended = sweep.clone();
+    extended.push(JobSpec::new(Workload::Ocean, 2, 1 << 20).with_ops(500).with_seed(99));
+    let mixed = Harness::new(cfg).run(&extended).unwrap();
+    assert_eq!(mixed.executed, 1);
+    assert_eq!(mixed.cached, sweep.len());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn run_records_are_written_as_jsonl() {
+    let dir = tmp_dir("records");
+    let mut sweep = SweepSpec::new("records_sweep");
+    sweep.push(JobSpec::new(Workload::Fft, 2, 1 << 20));
+    sweep.push(JobSpec::new(Workload::Lu, 2, 1 << 20));
+    let result = Harness::new(HarnessConfig::hermetic().with_records_dir(&dir))
+        .run_with(&sweep, synthetic)
+        .unwrap();
+    assert!(result.is_complete());
+    let text = std::fs::read_to_string(dir.join("records_sweep.jsonl")).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    for (i, line) in lines.iter().enumerate() {
+        let v = senss_harness::json::parse(line).unwrap();
+        assert_eq!(v.get("index").unwrap().as_u64(), Some(i as u64));
+        assert_eq!(v.get("cached"), Some(&senss_harness::json::Value::Bool(false)));
+        assert!(v.get("stats").unwrap().get("total_cycles").is_some());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn aggregate_merges_all_records() {
+    let mut sweep = SweepSpec::new("agg");
+    sweep.push(JobSpec::new(Workload::Fft, 2, 1 << 20).with_seed(1));
+    sweep.push(JobSpec::new(Workload::Fft, 2, 1 << 20).with_seed(2));
+    let result = Harness::new(HarnessConfig::hermetic())
+        .run_with(&sweep, synthetic)
+        .unwrap();
+    let total = result.aggregate();
+    assert_eq!(total.ops_executed, 2 * 10_000);
+    assert_eq!(total.total_cycles, 2_002); // max, not sum
+}

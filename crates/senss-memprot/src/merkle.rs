@@ -209,7 +209,7 @@ impl MerkleTree {
     /// recomputing the path and comparing against the stored tree (whose
     /// root stands in for the on-chip root register).
     pub fn verify(&self, addr: u64, line: &[u8]) -> bool {
-        if addr % LINE_BYTES != 0
+        if !addr.is_multiple_of(LINE_BYTES)
             || addr >= self.geometry.data_span()
             || line.len() != LINE_BYTES as usize
         {
@@ -295,8 +295,8 @@ mod tests {
     #[test]
     fn fresh_tree_verifies_default_lines() {
         let t = MerkleTree::new(1 << 16);
-        assert!(t.verify(0, &vec![0u8; 64]));
-        assert!(t.verify(0x8000, &vec![0u8; 64]));
+        assert!(t.verify(0, &[0u8; 64]));
+        assert!(t.verify(0x8000, &[0u8; 64]));
     }
 
     #[test]
@@ -347,9 +347,9 @@ mod tests {
     fn root_changes_with_every_update() {
         let mut t = MerkleTree::new(1 << 16);
         let r0 = t.root();
-        t.update(0, &vec![1; 64]);
+        t.update(0, &[1; 64]);
         let r1 = t.root();
-        t.update(64, &vec![2; 64]);
+        t.update(64, &[2; 64]);
         let r2 = t.root();
         assert_ne!(r0, r1);
         assert_ne!(r1, r2);
@@ -358,9 +358,9 @@ mod tests {
     #[test]
     fn misaligned_or_out_of_range_verify_fails() {
         let t = MerkleTree::new(1 << 16);
-        assert!(!t.verify(1, &vec![0; 64]));
-        assert!(!t.verify(1 << 20, &vec![0; 64]));
-        assert!(!t.verify(0, &vec![0; 63]));
+        assert!(!t.verify(1, &[0; 64]));
+        assert!(!t.verify(1 << 20, &[0; 64]));
+        assert!(!t.verify(0, &[0; 63]));
     }
 
     #[test]

@@ -38,7 +38,7 @@ impl<M> SetAssocCache<M> {
         assert!(line_size.is_power_of_two(), "line size must be a power of two");
         assert!(ways > 0, "associativity must be positive");
         assert!(
-            size % (ways * line_size) == 0,
+            size.is_multiple_of(ways * line_size),
             "size must be a multiple of ways * line_size"
         );
         let set_count = size / (ways * line_size);

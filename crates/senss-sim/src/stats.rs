@@ -148,6 +148,40 @@ impl Stats {
         max / mean
     }
 
+    /// Accumulates `other` into `self`: counters add, `total_cycles`
+    /// takes the maximum (runs aggregated this way are conceptually
+    /// concurrent), and the per-core vectors concatenate. Used by the
+    /// harness to aggregate a sweep and by the bench crate to total
+    /// traffic across workloads.
+    pub fn merge(&mut self, other: &Stats) {
+        self.total_cycles = self.total_cycles.max(other.total_cycles);
+        self.ops_executed += other.ops_executed;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.upgrades += other.upgrades;
+        self.txn_read += other.txn_read;
+        self.txn_read_exclusive += other.txn_read_exclusive;
+        self.txn_upgrade += other.txn_upgrade;
+        self.txn_update += other.txn_update;
+        self.txn_writeback += other.txn_writeback;
+        self.txn_hash_fetch += other.txn_hash_fetch;
+        self.txn_hash_writeback += other.txn_hash_writeback;
+        self.txn_auth += other.txn_auth;
+        self.txn_pad_invalidate += other.txn_pad_invalidate;
+        self.txn_pad_request += other.txn_pad_request;
+        self.cache_to_cache_transfers += other.cache_to_cache_transfers;
+        self.memory_transfers += other.memory_transfers;
+        self.bus_busy_cycles += other.bus_busy_cycles;
+        self.bus_bytes += other.bus_bytes;
+        self.mask_stall_cycles += other.mask_stall_cycles;
+        self.integrity_check_cycles += other.integrity_check_cycles;
+        self.mask_stalled_transfers += other.mask_stalled_transfers;
+        self.core_finish_times.extend_from_slice(&other.core_finish_times);
+        self.core_ops.extend_from_slice(&other.core_ops);
+    }
+
     /// Fraction of line fills that were cache-to-cache.
     pub fn c2c_fraction(&self) -> f64 {
         let fills = self.cache_to_cache_transfers + self.memory_transfers;
@@ -224,6 +258,40 @@ mod tests {
         };
         assert!((s.imbalance() - 1.5).abs() < 1e-9);
         assert_eq!(Stats::default().imbalance(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_cycles() {
+        let mut a = Stats {
+            total_cycles: 100,
+            ops_executed: 10,
+            txn_read: 5,
+            mask_stall_cycles: 2,
+            core_finish_times: vec![90, 100],
+            core_ops: vec![5, 5],
+            ..Stats::default()
+        };
+        let b = Stats {
+            total_cycles: 80,
+            ops_executed: 7,
+            txn_read: 3,
+            txn_auth: 4,
+            core_finish_times: vec![80],
+            core_ops: vec![7],
+            ..Stats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total_cycles, 100);
+        assert_eq!(a.ops_executed, 17);
+        assert_eq!(a.txn_read, 8);
+        assert_eq!(a.txn_auth, 4);
+        assert_eq!(a.mask_stall_cycles, 2);
+        assert_eq!(a.core_finish_times, vec![90, 100, 80]);
+        assert_eq!(a.core_ops, vec![5, 5, 7]);
+        // Merging the default is the identity on counters.
+        let before = a.clone();
+        a.merge(&Stats::default());
+        assert_eq!(a, before);
     }
 
     #[test]

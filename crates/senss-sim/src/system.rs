@@ -1220,7 +1220,7 @@ mod tests {
             VecTrace::new(
                 (0..50)
                     .map(|i| {
-                        if (i + phase) % 2 == 0 {
+                        if (i + phase).is_multiple_of(2) {
                             Op::write(1, 0x2000)
                         } else {
                             Op::read(1, 0x2000)
@@ -1281,7 +1281,7 @@ mod tests {
         assert_eq!(stats.txn_read_exclusive, 0);
         assert_eq!(stats.txn_update, 1);
         // B's second read still hits locally.
-        assert_eq!(stats.l1_hits + stats.l2_hits >= 1, true);
+        assert!(stats.l1_hits + stats.l2_hits >= 1);
     }
 
     #[test]
@@ -1356,7 +1356,7 @@ mod tests {
         fn transaction_complete(&mut self, txn: &Transaction, _now: u64) -> Vec<FollowUp> {
             if txn.is_cache_to_cache() {
                 self.c2c_seen += 1;
-                if self.auth_every > 0 && self.c2c_seen % self.auth_every == 0 {
+                if self.auth_every > 0 && self.c2c_seen.is_multiple_of(self.auth_every) {
                     return vec![FollowUp::Auth { initiator: 0 }];
                 }
             }

@@ -1,7 +1,8 @@
-//! Model-based property tests: `SetAssocCache` against a naive reference
-//! implementation, and cross-checks of the simulator's cache accounting.
+//! Model-based tests: `SetAssocCache` against a naive reference
+//! implementation under deterministic pseudo-random op sequences
+//! (formerly proptest; now driven by senss-crypto's [`SplitMix64`]).
 
-use proptest::prelude::*;
+use senss_crypto::rng::SplitMix64;
 use senss_sim::cache::SetAssocCache;
 use std::collections::HashMap;
 
@@ -72,35 +73,36 @@ enum CacheOp {
     Take(u64),
 }
 
-fn ops() -> impl Strategy<Value = Vec<CacheOp>> {
-    proptest::collection::vec(
-        (0u8..3, 0u64..64, any::<u32>()).prop_map(|(k, line, meta)| {
+fn random_ops(rng: &mut SplitMix64) -> Vec<CacheOp> {
+    let count = 1 + rng.next_below(299) as usize;
+    (0..count)
+        .map(|_| {
+            let meta = rng.next_u64() as u32;
+            let line = rng.next_below(64);
             let addr = line * 64 + (meta as u64 % 64); // unaligned offsets too
-            match k {
+            match rng.next_below(3) {
                 0 => CacheOp::Lookup(addr),
                 1 => CacheOp::Insert(addr, meta),
                 _ => CacheOp::Take(addr),
             }
-        }),
-        1..300,
-    )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The production cache behaves exactly like the naive reference
-    /// under arbitrary op sequences (hits, LRU evictions, invalidations).
-    #[test]
-    fn cache_matches_reference(ops in ops()) {
+/// The production cache behaves exactly like the naive reference under
+/// arbitrary op sequences (hits, LRU evictions, invalidations).
+#[test]
+fn cache_matches_reference() {
+    let mut rng = SplitMix64::new(0xD1);
+    for _ in 0..64 {
         // 8 sets x 2 ways x 64B = 1 KiB cache, small enough to evict a lot.
         let mut real: SetAssocCache<u32> = SetAssocCache::new(1024, 2, 64);
         let mut reference = RefCache::new(1024, 2, 64);
-        for op in ops {
+        for op in random_ops(&mut rng) {
             match op {
                 CacheOp::Lookup(addr) => {
                     let got = real.lookup_mut(addr).map(|m| *m);
-                    prop_assert_eq!(got, reference.lookup(addr));
+                    assert_eq!(got, reference.lookup(addr));
                 }
                 CacheOp::Insert(addr, meta) => {
                     // Skip inserts of already-present lines (the real
@@ -111,28 +113,31 @@ proptest! {
                     }
                     let got = real.insert(addr, meta);
                     let want = reference.insert(addr, meta);
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
                 CacheOp::Take(addr) => {
-                    prop_assert_eq!(real.take(addr), reference.take(addr));
+                    assert_eq!(real.take(addr), reference.take(addr));
                 }
             }
         }
     }
+}
 
-    /// Residency never exceeds capacity, and peek never disturbs LRU
-    /// (peeking between touches must not change eviction outcomes).
-    #[test]
-    fn residency_bounded_and_peek_is_pure(lines in proptest::collection::vec(0u64..128, 1..200)) {
+/// Residency never exceeds capacity, and peek never disturbs LRU
+/// (peeking between touches must not change eviction outcomes).
+#[test]
+fn residency_bounded_and_peek_is_pure() {
+    let mut rng = SplitMix64::new(0xD2);
+    for _ in 0..32 {
         let mut c: SetAssocCache<u32> = SetAssocCache::new(1024, 2, 64);
-        for (i, &l) in lines.iter().enumerate() {
-            let addr = l * 64;
+        for i in 0..1 + rng.next_below(199) {
+            let addr = rng.next_below(128) * 64;
             let _ = c.peek(addr);
             if c.lookup_mut(addr).is_none() {
                 c.insert(addr, i as u32);
             }
             let _ = c.peek(addr);
-            prop_assert!(c.resident() <= 16, "capacity is 16 lines");
+            assert!(c.resident() <= 16, "capacity is 16 lines");
         }
     }
 }

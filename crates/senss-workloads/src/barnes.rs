@@ -18,7 +18,7 @@ pub(crate) fn generate(cores: usize, ops_per_core: usize, seed: u64) -> Vec<VecT
     let tree = Region::new(0x2000_0000, TREE_BYTES);
     (0..cores)
         .map(|pid| {
-            let mut b = TraceBuilder::new(seed ^ 0xBA12_E5, pid);
+            let mut b = TraceBuilder::new(seed ^ 0x00BA_12E5, pid);
             let bodies = Region::new(0x2800_0000 + pid as u64 * BODY_BYTES, BODY_BYTES);
             let mut body_cursor = 0u64;
             while b.len() < ops_per_core {

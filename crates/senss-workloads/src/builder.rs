@@ -1,18 +1,19 @@
 //! Shared trace-building utilities for the workload generators.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use senss_crypto::rng::SplitMix64;
 use senss_sim::trace::{Op, VecTrace};
 
 /// Per-core trace accumulator with a seeded RNG and address helpers.
 ///
 /// All generators emit addresses through a [`TraceBuilder`], which keeps
 /// the address arithmetic (line alignment, region partitioning) in one
-/// place.
+/// place. Randomness comes from the crate-internal deterministic
+/// [`SplitMix64`] generator, so traces depend only on `(seed, pid)` and
+/// never on an external RNG crate.
 #[derive(Debug)]
 pub struct TraceBuilder {
     ops: Vec<Op>,
-    rng: SmallRng,
+    rng: SplitMix64,
 }
 
 impl TraceBuilder {
@@ -20,7 +21,7 @@ impl TraceBuilder {
     pub fn new(seed: u64, pid: usize) -> TraceBuilder {
         TraceBuilder {
             ops: Vec::new(),
-            rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ pid as u64),
+            rng: SplitMix64::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ pid as u64),
         }
     }
 
@@ -48,7 +49,7 @@ impl TraceBuilder {
 
     /// Emits a read or a write with probability `write_prob` of a write.
     pub fn access(&mut self, addr: u64, write_prob: f64, gap_lo: u64, gap_hi: u64) {
-        if self.rng.gen_bool(write_prob) {
+        if self.chance(write_prob) {
             self.write(addr, gap_lo, gap_hi);
         } else {
             self.read(addr, gap_lo, gap_hi);
@@ -59,7 +60,7 @@ impl TraceBuilder {
         if lo >= hi {
             lo
         } else {
-            self.rng.gen_range(lo..=hi)
+            lo + self.rng.next_below(hi - lo + 1)
         }
     }
 
@@ -69,12 +70,14 @@ impl TraceBuilder {
     ///
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
-        self.rng.gen_range(0..bound)
+        self.rng.next_below(bound)
     }
 
     /// `true` with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen_bool(p)
+        // 53-bit uniform in [0, 1), the usual double construction.
+        let unit = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
     }
 
     /// A Zipf-ish hot index in `[0, n)`: repeatedly prefers low indices,

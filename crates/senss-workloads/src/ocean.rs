@@ -22,7 +22,7 @@ pub(crate) fn generate(cores: usize, ops_per_core: usize, seed: u64) -> Vec<VecT
     let grid = Region::new(0x6000_0000, STRIP_BYTES * cores as u64);
     (0..cores)
         .map(|pid| {
-            let mut b = TraceBuilder::new(seed ^ 0x0CEA_0, pid);
+            let mut b = TraceBuilder::new(seed ^ 0x0000_CEA0, pid);
             let own = grid.strip(pid, cores);
             let up = grid.strip((pid + cores - 1) % cores, cores);
             let down = grid.strip((pid + 1) % cores, cores);

@@ -23,7 +23,7 @@ pub(crate) fn generate(cores: usize, ops_per_core: usize, seed: u64) -> Vec<VecT
     let hist = Region::new(0x4A00_0000, HIST_BYTES);
     (0..cores)
         .map(|pid| {
-            let mut b = TraceBuilder::new(seed ^ 0x4Ad1, pid);
+            let mut b = TraceBuilder::new(seed ^ 0x4AD1, pid);
             let keys = Region::new(0x5000_0000 + pid as u64 * KEYS_BYTES, KEYS_BYTES);
             let mut cursor = 0u64;
             while b.len() < ops_per_core {

@@ -80,7 +80,7 @@ impl Distributor {
         // Length-prefixed zero padding to a 16-byte boundary.
         let orig_len = padded.len() as u64;
         padded.splice(0..0, orig_len.to_le_bytes());
-        while padded.len() % 16 != 0 {
+        while !padded.len().is_multiple_of(16) {
             padded.push(0);
         }
         let mut enc = CbcEncryptor::new(Aes::new_128(&self.session_key), iv);

@@ -92,6 +92,7 @@ impl GroupFabric {
     /// Panics if the IVs are equal (§4.3 requires distinct IVs — reusing
     /// the encryption IV lets misordering self-heal) or `members` is
     /// empty.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         gid: GroupId,
         members: Vec<ProcessorId>,

@@ -169,9 +169,9 @@ impl GroupInfoTable {
         self.entries.iter().filter(|e| e.is_some()).count()
     }
 
-    /// The paper's §7.1 accounting: per entry, 1 occupied bit + 128-bit key
-    /// + 8-bit counter + `masks × 128` bits. With 8 masks: 1161 bits/entry,
-    /// ≈148.6 KB for 1024 entries.
+    /// The paper's §7.1 accounting: per entry, 1 occupied bit, a 128-bit
+    /// key, an 8-bit counter and `masks × 128` mask bits. With 8 masks:
+    /// 1161 bits/entry, or about 148.6 KB for 1024 entries.
     pub fn storage_bits(&self) -> usize {
         MAX_GROUPS * (1 + 128 + 8 + self.masks_per_group * 128)
     }

@@ -1,7 +1,8 @@
 //! Integration + property tests of the MESI snooping protocol under the
-//! simulator, including randomized traces (proptest).
+//! simulator, including randomized traces (deterministic SplitMix64
+//! generation).
 
-use proptest::prelude::*;
+use senss_crypto::rng::SplitMix64;
 use senss_sim::trace::{Op, VecTrace};
 use senss_sim::{NullExtension, System, SystemConfig};
 
@@ -61,60 +62,61 @@ fn upgrade_then_silent_writes() {
     assert_eq!(stats.txn_upgrade, 1, "exactly one upgrade, then M-state hits");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Draws a random small trace over a tiny shared footprint: tuples of
+/// `(inter-access gap, read/write, line index)` like the old proptest
+/// strategy, but from a seeded SplitMix64 stream.
+fn random_trace(
+    rng: &mut SplitMix64,
+    max_ops: usize,
+    max_gap: u64,
+    lines: u64,
+    addr_base: u64,
+) -> VecTrace {
+    let n = 1 + rng.next_below(max_ops as u64 - 1) as usize;
+    VecTrace::new(
+        (0..n)
+            .map(|_| {
+                let gap = rng.next_below(max_gap);
+                let addr = addr_base + rng.next_below(lines) * 64;
+                if rng.next_below(2) == 1 {
+                    Op::write(gap, addr)
+                } else {
+                    Op::read(gap, addr)
+                }
+            })
+            .collect(),
+    )
+}
 
-    /// Random small traces over a tiny shared footprint: the simulator
-    /// must terminate, execute every reference, and satisfy its
-    /// accounting identities regardless of interleaving.
-    #[test]
-    fn random_traces_satisfy_invariants(
-        ops_a in proptest::collection::vec((0u64..60, 0u8..2, 0u64..24), 1..120),
-        ops_b in proptest::collection::vec((0u64..60, 0u8..2, 0u64..24), 1..120),
-    ) {
-        let to_trace = |v: &Vec<(u64, u8, u64)>| {
-            VecTrace::new(
-                v.iter()
-                    .map(|&(gap, w, line)| {
-                        let addr = 0xE000 + line * 64;
-                        if w == 1 { Op::write(gap, addr) } else { Op::read(gap, addr) }
-                    })
-                    .collect(),
-            )
-        };
-        let total = (ops_a.len() + ops_b.len()) as u64;
-        let stats = System::new(
-            cfg(2),
-            vec![to_trace(&ops_a), to_trace(&ops_b)],
-            NullExtension,
-        )
-        .run();
-        prop_assert_eq!(stats.ops_executed, total);
-        prop_assert_eq!(stats.l1_hits + stats.l1_misses, total);
-        prop_assert_eq!(
+/// Random small traces over a tiny shared footprint: the simulator
+/// must terminate, execute every reference, and satisfy its
+/// accounting identities regardless of interleaving.
+#[test]
+fn random_traces_satisfy_invariants() {
+    let mut rng = SplitMix64::new(0xD1);
+    for _ in 0..24 {
+        let a = random_trace(&mut rng, 120, 60, 24, 0xE000);
+        let b = random_trace(&mut rng, 120, 60, 24, 0xE000);
+        let total = (a.remaining() + b.remaining()) as u64;
+        let stats = System::new(cfg(2), vec![a, b], NullExtension).run();
+        assert_eq!(stats.ops_executed, total);
+        assert_eq!(stats.l1_hits + stats.l1_misses, total);
+        assert_eq!(
             stats.cache_to_cache_transfers + stats.memory_transfers,
             stats.txn_read + stats.txn_read_exclusive
         );
         // The bus can't be busy longer than the run.
-        prop_assert!(stats.bus_busy_cycles <= stats.total_cycles);
+        assert!(stats.bus_busy_cycles <= stats.total_cycles);
     }
+}
 
-    /// Determinism over random traces.
-    #[test]
-    fn random_traces_are_deterministic(
-        ops in proptest::collection::vec((0u64..40, 0u8..2, 0u64..16), 1..80),
-    ) {
-        let mk = || {
-            let t = VecTrace::new(
-                ops.iter()
-                    .map(|&(gap, w, line)| {
-                        let addr = 0xF000 + line * 64;
-                        if w == 1 { Op::write(gap, addr) } else { Op::read(gap, addr) }
-                    })
-                    .collect(),
-            );
-            System::new(cfg(2), vec![t.clone(), t], NullExtension).run()
-        };
-        prop_assert_eq!(mk(), mk());
+/// Determinism over random traces.
+#[test]
+fn random_traces_are_deterministic() {
+    let mut rng = SplitMix64::new(0xD2);
+    for _ in 0..24 {
+        let t = random_trace(&mut rng, 80, 40, 16, 0xF000);
+        let mk = || System::new(cfg(2), vec![t.clone(), t.clone()], NullExtension).run();
+        assert_eq!(mk(), mk());
     }
 }

@@ -10,14 +10,11 @@
 //! substrate for SENSS twice over.
 
 use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
-use senss_bench::{format_table, maybe_write_csv, ops_per_core, seed, workload_columns};
+use senss_bench::{format_table, maybe_write_csv, workload_columns, RunEnv};
 use senss_sim::config::CoherenceProtocol;
 
 fn main() {
-    let ops = ops_per_core();
-    let seed = seed();
-    println!("=== Coherence-protocol ablation under SENSS (4P, 1MB L2) ===");
-    println!("ops/core = {ops}, seed = {seed}\n");
+    RunEnv::from_env().banner("Coherence-protocol ablation under SENSS (4P, 1MB L2)");
 
     let protocols = [
         ("invalidate", CoherenceProtocol::WriteInvalidate),

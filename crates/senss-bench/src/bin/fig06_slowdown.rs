@@ -8,16 +8,14 @@
 //! larger L2 ⇒ relatively more c2c).
 
 use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
-use senss_bench::{format_table, maybe_write_csv, ops_per_core, seed, workload_columns};
+use senss_bench::{format_table, maybe_write_csv, workload_columns, RunEnv};
 
 const L2S: [usize; 2] = [1 << 20, 4 << 20];
 const CORES: [usize; 2] = [2, 4];
 
 fn main() {
-    let ops = ops_per_core();
-    let seed = seed();
-    println!("=== Figure 6: percentage slowdown (SENSS, auth interval 100) ===");
-    println!("ops/core = {ops}, seed = {seed}\n");
+    let env = RunEnv::from_env();
+    env.banner("Figure 6: percentage slowdown (SENSS, auth interval 100)");
 
     let mut sweep = SweepSpec::new("fig06");
     sweep.grid(
@@ -25,8 +23,8 @@ fn main() {
         &CORES,
         &L2S,
         &[SecurityMode::Baseline, SecurityMode::senss()],
-        ops,
-        seed,
+        env.ops,
+        env.seed,
     );
     let result = sweeps::execute(&sweep);
 

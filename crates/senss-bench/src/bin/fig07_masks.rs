@@ -7,13 +7,11 @@
 
 use senss::mask::PERFECT_MASKS;
 use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
-use senss_bench::{format_table, maybe_write_csv, ops_per_core, seed, workload_columns};
+use senss_bench::{format_table, maybe_write_csv, workload_columns, RunEnv};
 
 fn main() {
-    let ops = ops_per_core();
-    let seed = seed();
-    println!("=== Figure 7: mask-count sensitivity (4P, 4MB L2, interval 100) ===");
-    println!("ops/core = {ops}, seed = {seed}\n");
+    let env = RunEnv::from_env();
+    env.banner("Figure 7: mask-count sensitivity (4P, 4MB L2, interval 100)");
 
     let variants: &[(&str, usize)] = &[
         ("Perfect", PERFECT_MASKS),
@@ -25,7 +23,7 @@ fn main() {
     let mut modes = vec![SecurityMode::Baseline];
     modes.extend(variants.iter().map(|&(_, m)| SecurityMode::senss_masks(m)));
     let mut sweep = SweepSpec::new("fig07");
-    sweep.grid(&workload_columns(), &[4], &[4 << 20], &modes, ops, seed);
+    sweep.grid(&workload_columns(), &[4], &[4 << 20], &modes, env.ops, env.seed);
     let result = sweeps::execute(&sweep);
 
     let mut slow_rows = Vec::new();

@@ -6,19 +6,17 @@
 //! share of total bus activity); longer intervals shrink both.
 
 use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
-use senss_bench::{format_table, maybe_write_csv, ops_per_core, seed, workload_columns};
+use senss_bench::{format_table, maybe_write_csv, workload_columns, RunEnv};
 
 fn main() {
-    let ops = ops_per_core();
-    let seed = seed();
-    println!("=== Figure 9: authentication-interval sensitivity (4P, 4MB L2) ===");
-    println!("ops/core = {ops}, seed = {seed}\n");
+    let env = RunEnv::from_env();
+    env.banner("Figure 9: authentication-interval sensitivity (4P, 4MB L2)");
 
     let intervals = [100u64, 32, 10, 1];
     let mut modes = vec![SecurityMode::Baseline];
     modes.extend(intervals.iter().map(|&i| SecurityMode::senss_interval(i)));
     let mut sweep = SweepSpec::new("fig09");
-    sweep.grid(&workload_columns(), &[4], &[4 << 20], &modes, ops, seed);
+    sweep.grid(&workload_columns(), &[4], &[4 << 20], &modes, env.ops, env.seed);
     let result = sweeps::execute(&sweep);
 
     let mut slow_rows = Vec::new();

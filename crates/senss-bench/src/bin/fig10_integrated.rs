@@ -9,14 +9,12 @@
 //! bus-security-only cost.
 
 use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
-use senss_bench::{format_table, maybe_write_csv, ops_per_core, seed, workload_columns};
+use senss_bench::{format_table, maybe_write_csv, workload_columns, RunEnv};
 use senss_workloads::Workload;
 
 fn main() {
-    let ops = ops_per_core();
-    let seed = seed();
-    println!("=== Figure 10: integrated system (4P, 1MB L2, interval 100) ===");
-    println!("ops/core = {ops}, seed = {seed}\n");
+    let env = RunEnv::from_env();
+    env.banner("Figure 10: integrated system (4P, 1MB L2, interval 100)");
 
     let flavours = [
         ("SENSS", SecurityMode::senss()),
@@ -25,7 +23,7 @@ fn main() {
     let mut modes = vec![SecurityMode::Baseline];
     modes.extend(flavours.iter().map(|&(_, m)| m));
     let mut sweep = SweepSpec::new("fig10");
-    sweep.grid(&workload_columns(), &[4], &[1 << 20], &modes, ops, seed);
+    sweep.grid(&workload_columns(), &[4], &[1 << 20], &modes, env.ops, env.seed);
     let result = sweeps::execute(&sweep);
 
     let mut slow_rows = Vec::new();

@@ -8,18 +8,19 @@
 //! false-sharing microbenchmark and on a seed sweep of `radix`.
 
 use senss_bench::sweeps::{self, JobSpec, SecurityMode, SweepSpec, TraceSpec};
-use senss_bench::{ops_per_core, overhead};
+use senss_bench::{overhead, RunEnv};
 use senss_workloads::Workload;
 
 const MICRO_OPS: usize = 2_000;
 const SEEDS: u64 = 8;
 
 fn main() {
-    println!("=== Figure 11 / §7.8: access reordering & variability ===\n");
+    let env = RunEnv::from_env();
+    env.banner_bare("Figure 11 / §7.8: access reordering & variability");
 
     // One sweep covers both experiments: the paper-diagram false-sharing
     // micro-trace (interval 1 = worst case) and the radix seed sweep.
-    let ops = ops_per_core().min(10_000);
+    let ops = env.ops.min(10_000);
     let mut sweep = SweepSpec::new("fig11");
     let micro = JobSpec::new(TraceSpec::FalseSharing, 2, 1 << 20).with_ops(MICRO_OPS);
     sweep.push(micro);

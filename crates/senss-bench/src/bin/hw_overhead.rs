@@ -10,11 +10,12 @@
 use senss::secure_bus::SenssExtension;
 use senss::shu::{BitMatrix, GroupInfoTable};
 use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
-use senss_bench::{ops_per_core, seed};
+use senss_bench::RunEnv;
 use senss_workloads::Workload;
 
 fn main() {
-    println!("=== SENSS §7.1 hardware overhead ===\n");
+    let env = RunEnv::from_env();
+    env.banner_bare("SENSS §7.1 hardware overhead");
 
     let matrix_bits = BitMatrix::storage_bits();
     println!(
@@ -52,8 +53,8 @@ fn main() {
     let stats = result.require(&job);
     println!(
         "Dynamic cross-check (ocean, 4P, 4MB L2, ops/core = {}, seed = {}):",
-        ops_per_core(),
-        seed()
+        env.ops,
+        env.seed
     );
     println!(
         "  c2c transfers = {}, auth transactions = {} (expected ~ c2c/100 = {})",

@@ -6,16 +6,14 @@
 //! with the processor count until the single bus itself saturates.
 
 use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
-use senss_bench::{ops_per_core, overhead, seed};
+use senss_bench::{overhead, RunEnv};
 use senss_workloads::Workload;
 
 const CORES: [usize; 4] = [2, 4, 8, 16];
 
 fn main() {
-    let ops = ops_per_core();
-    let seed = seed();
-    println!("=== Scaling study: SENSS (interval 100) from 2P to 16P, 4MB L2 ===");
-    println!("ops/core = {ops}, seed = {seed}\n");
+    let env = RunEnv::from_env();
+    env.banner("Scaling study: SENSS (interval 100) from 2P to 16P, 4MB L2");
 
     let mut sweep = SweepSpec::new("scaling");
     sweep.grid(
@@ -23,8 +21,8 @@ fn main() {
         &CORES,
         &[4 << 20],
         &[SecurityMode::Baseline, SecurityMode::senss()],
-        ops,
-        seed,
+        env.ops,
+        env.seed,
     );
     let result = sweeps::execute(&sweep);
 

@@ -43,6 +43,74 @@ pub fn seed() -> u64 {
         .unwrap_or(DEFAULT_SEED)
 }
 
+/// Snapshot of the environment knobs every figure binary honours:
+/// the simulation size (`SENSS_OPS`/`SENSS_SEED`) plus how sweeps will
+/// execute (`HARNESS_WORKERS`, `HARNESS_NO_CACHE`, `SENSS_SERVE`).
+///
+/// The binaries call [`RunEnv::banner`] first thing; it prints the
+/// figure title and ops/seed line to **stdout** — byte-identical no
+/// matter how the sweep executes — and the execution knobs to
+/// **stderr**, preserving the piped-stdout determinism invariant.
+#[derive(Debug, Clone)]
+pub struct RunEnv {
+    /// Operations per core (`SENSS_OPS`).
+    pub ops: usize,
+    /// Workload seed (`SENSS_SEED`).
+    pub seed: u64,
+    /// Worker-count override (`HARNESS_WORKERS`); `None` = auto.
+    pub workers: Option<usize>,
+    /// Whether the result cache is enabled (`HARNESS_NO_CACHE` unset).
+    pub cache: bool,
+    /// Remote `senss-serve` address (`SENSS_SERVE`); `None` = run
+    /// sweeps in-process.
+    pub serve: Option<String>,
+}
+
+impl RunEnv {
+    /// Reads every knob from the environment.
+    pub fn from_env() -> RunEnv {
+        RunEnv {
+            ops: ops_per_core(),
+            seed: seed(),
+            workers: std::env::var("HARNESS_WORKERS")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            cache: std::env::var_os("HARNESS_NO_CACHE").is_none(),
+            serve: std::env::var("SENSS_SERVE").ok().filter(|a| !a.is_empty()),
+        }
+    }
+
+    /// The standard figure banner: title line plus the ops/seed line.
+    pub fn banner(&self, title: &str) {
+        println!("=== {title} ===");
+        println!("ops/core = {}, seed = {}\n", self.ops, self.seed);
+        self.log_knobs();
+    }
+
+    /// Banner for figures whose stdout doesn't lead with ops/seed (the
+    /// hardware-accounting table, the variability study).
+    pub fn banner_bare(&self, title: &str) {
+        println!("=== {title} ===\n");
+        self.log_knobs();
+    }
+
+    /// One stderr line describing how sweeps will execute.
+    pub fn log_knobs(&self) {
+        let workers = match self.workers {
+            Some(w) => w.to_string(),
+            None => "auto".to_string(),
+        };
+        let exec = match &self.serve {
+            Some(addr) => format!("remote via {addr}"),
+            None => "in-process".to_string(),
+        };
+        eprintln!(
+            "env: {exec}, workers = {workers}, cache = {}",
+            if self.cache { "on" } else { "off" }
+        );
+    }
+}
+
 /// One experimental point: a workload on a machine shape.
 #[derive(Debug, Clone, Copy)]
 pub struct Point {
@@ -196,5 +264,15 @@ mod tests {
     fn env_defaults() {
         assert!(ops_per_core() > 0);
         let _ = seed();
+    }
+
+    #[test]
+    fn run_env_matches_free_functions() {
+        let env = RunEnv::from_env();
+        assert_eq!(env.ops, ops_per_core());
+        assert_eq!(env.seed, seed());
+        // Smoke the stderr line; stdout is covered by the figures-smoke
+        // determinism test.
+        env.log_knobs();
     }
 }

@@ -13,19 +13,26 @@ pub use senss_harness::{
 
 use crate::{ops_per_core, overhead, seed, workload_columns, Overhead};
 use senss_workloads::Workload;
+use std::time::{Duration, Instant};
 
 /// Runs a sweep through the environment-configured harness
-/// ([`HarnessConfig::from_env`]).
+/// ([`HarnessConfig::from_env`]) — or, when the `SENSS_SERVE`
+/// environment variable names a server address, remotely through that
+/// `senss-serve` instance (see `docs/serving.md`).
 ///
 /// The execution summary (jobs executed vs served from cache, worker
 /// count, wall time) and any per-job failures go to **stderr**, so
 /// figure output piped from stdout stays byte-identical regardless of
-/// worker count or cache warmth.
+/// worker count, cache warmth, or local-vs-remote execution.
 ///
 /// # Panics
 ///
-/// Panics if the cache or record directories cannot be written.
+/// Panics if the cache or record directories cannot be written, or if
+/// the `SENSS_SERVE` server is unreachable or reports a failure.
 pub fn execute(sweep: &SweepSpec) -> SweepResult {
+    if let Some(addr) = std::env::var("SENSS_SERVE").ok().filter(|a| !a.is_empty()) {
+        return execute_remote(sweep, &addr);
+    }
     let result = Harness::from_env()
         .run(sweep)
         .expect("harness: cache/records I/O failed");
@@ -40,6 +47,67 @@ pub fn execute(sweep: &SweepSpec) -> SweepResult {
             f.error
         );
     }
+    result
+}
+
+/// Ships the sweep to a `senss-serve` server and reassembles the reply
+/// into a [`SweepResult`]. The wire's result lines carry no execution
+/// metadata, so the records come back with zero wall time and no worker
+/// attribution — but the `stats` are byte-identical to a local run, and
+/// that is all the figure tables read.
+fn execute_remote(sweep: &SweepSpec, addr: &str) -> SweepResult {
+    let started = Instant::now();
+    let die = |stage: &str, err: &dyn std::fmt::Display| -> ! {
+        panic!("SENSS_SERVE={addr}: {stage} failed: {err}")
+    };
+    let client = senss_serve::Client::new(addr);
+    let (id, _) = client
+        .submit(sweep)
+        .unwrap_or_else(|e| die("submit", &e));
+    let info = loop {
+        let info = client.status(id).unwrap_or_else(|e| die("status", &e));
+        match info.state {
+            senss_serve::SweepState::Done => break info,
+            senss_serve::SweepState::Failed => panic!(
+                "SENSS_SERVE={addr}: sweep {id} failed on the server: {}",
+                info.message
+            ),
+            senss_serve::SweepState::Queued | senss_serve::SweepState::Running => {
+                std::thread::sleep(Duration::from_millis(100))
+            }
+        }
+    };
+    assert!(
+        info.failures == 0,
+        "SENSS_SERVE={addr}: {} job(s) of sweep {id} failed on the server \
+         (see the server's stderr for per-job errors)",
+        info.failures
+    );
+    let records = client
+        .results(id)
+        .unwrap_or_else(|e| die("results", &e))
+        .into_iter()
+        .map(|r| RunRecord {
+            index: r.index as usize,
+            spec: r.spec,
+            key: r.key,
+            stats: r.stats,
+            wall_micros: 0,
+            worker: None,
+            attempts: 0,
+            cached: false,
+        })
+        .collect();
+    let result = SweepResult::from_records(&sweep.name, records, 0, started.elapsed());
+    eprintln!(
+        "harness[{}]: remote via {addr}: {} executed, {} cached on the server; \
+         {} record(s) fetched in {:.2?}",
+        result.name,
+        info.executed,
+        info.cached,
+        result.records.len(),
+        result.wall
+    );
     result
 }
 

@@ -1,0 +1,51 @@
+//! The `SENSS_SERVE` remote-execution bridge: `sweeps::execute` must
+//! produce the same records whether a sweep runs in-process or through
+//! a `senss-serve` server.
+//!
+//! This binary owns the `SENSS_SERVE` environment variable, so it holds
+//! exactly one `#[test]`: environment variables are process-global and
+//! must not race other tests.
+
+use senss_bench::sweeps::{self, SecurityMode, SweepSpec};
+use senss_bench::workload_columns;
+use senss_harness::{Harness, HarnessConfig, JobSpec};
+use senss_serve::{Server, ServerConfig};
+
+#[test]
+fn execute_bridges_to_a_server_when_senss_serve_is_set() {
+    let server = Server::start(ServerConfig::loopback()).expect("bind loopback server");
+    let addr = server.addr().to_string();
+
+    let mut sweep = SweepSpec::new("bridge");
+    sweep.grid(
+        &workload_columns()[..2],
+        &[2],
+        &[1 << 20],
+        &[SecurityMode::Baseline, SecurityMode::senss()],
+        400,
+        7,
+    );
+
+    let direct = Harness::new(HarnessConfig::hermetic()).run(&sweep).unwrap();
+
+    std::env::set_var("SENSS_SERVE", &addr);
+    let remote = sweeps::execute(&sweep);
+    std::env::remove_var("SENSS_SERVE");
+
+    assert!(remote.is_complete());
+    assert_eq!(remote.records.len(), direct.records.len());
+    for (r, d) in remote.records.iter().zip(&direct.records) {
+        assert_eq!(r.spec, d.spec);
+        assert_eq!(r.key, d.key);
+        assert_eq!(r.stats, d.stats, "remote stats must match a local run");
+    }
+
+    // Lookup goes through the same spec constructors the figure
+    // binaries use.
+    let spec = JobSpec::new(workload_columns()[0], 2, 1 << 20)
+        .with_ops(400)
+        .with_seed(7);
+    assert_eq!(remote.require(&spec), direct.require(&spec));
+
+    server.shutdown();
+}

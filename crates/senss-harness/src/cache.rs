@@ -31,30 +31,61 @@ pub const CACHE_FILE: &str = "cache.jsonl";
 pub struct ResultCache {
     path: PathBuf,
     entries: HashMap<String, Stats>,
+    skipped: usize,
 }
 
 impl ResultCache {
     /// Opens (creating if needed) the cache under `dir`.
+    ///
+    /// Loading is damage-tolerant: lines that are not valid UTF-8, not
+    /// parseable JSON, or not shaped like a cache entry (e.g. truncated
+    /// by a crash mid-append) are skipped and counted — a partially
+    /// corrupt cache degrades to a partially warm cache, it never fails
+    /// the run. The skip count is reported by
+    /// [`skipped`](ResultCache::skipped).
     pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
         fs::create_dir_all(dir)?;
         let path = dir.join(CACHE_FILE);
         let mut entries = HashMap::new();
+        let mut skipped = 0;
         match File::open(&path) {
             Ok(f) => {
-                for line in BufReader::new(f).lines() {
-                    let line = line?;
+                let mut reader = BufReader::new(f);
+                let mut raw = Vec::new();
+                loop {
+                    raw.clear();
+                    if reader.read_until(b'\n', &mut raw)? == 0 {
+                        break;
+                    }
+                    let Ok(line) = std::str::from_utf8(&raw) else {
+                        skipped += 1;
+                        continue;
+                    };
                     if line.trim().is_empty() {
                         continue;
                     }
-                    if let Some((key, stats)) = parse_entry(&line) {
-                        entries.insert(key, stats);
+                    match parse_entry(line.trim_end_matches(['\r', '\n'])) {
+                        Some((key, stats)) => {
+                            entries.insert(key, stats);
+                        }
+                        None => skipped += 1,
                     }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
-        Ok(ResultCache { path, entries })
+        Ok(ResultCache {
+            path,
+            entries,
+            skipped,
+        })
+    }
+
+    /// Number of on-disk lines that were corrupt or truncated and had
+    /// to be skipped while loading.
+    pub fn skipped(&self) -> usize {
+        self.skipped
     }
 
     /// Number of cached results.
@@ -149,6 +180,63 @@ mod tests {
         let c = ResultCache::open(&dir).unwrap();
         assert_eq!(c.len(), 1);
         assert_eq!(c.get("dup").unwrap().total_cycles, 2);
+        assert_eq!(c.skipped(), 2, "both corrupt lines must be counted");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mangled_cache_file_degrades_instead_of_failing() {
+        let dir = tmp_dir("mangled");
+        fs::create_dir_all(&dir).unwrap();
+        let good = Value::Obj(vec![
+            ("key".into(), Value::Str("ok".into())),
+            (
+                "stats".into(),
+                encode_stats(&Stats {
+                    total_cycles: 7,
+                    ..Stats::default()
+                }),
+            ),
+        ])
+        .encode();
+        // A valid entry surrounded by: raw invalid UTF-8, a truncated
+        // (crash mid-append) line, a wrong-shape object, and an empty
+        // line. Only the invalid ones count as skipped.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"\xff\xfe\x80 garbage bytes\n");
+        bytes.extend_from_slice(good.as_bytes());
+        bytes.extend_from_slice(b"\n");
+        bytes.extend_from_slice(&good.as_bytes()[..good.len() / 2]);
+        bytes.extend_from_slice(b"\n");
+        bytes.extend_from_slice(b"{\"stats\":{}}\n");
+        bytes.extend_from_slice(b"\n");
+        fs::write(dir.join(CACHE_FILE), bytes).unwrap();
+        let c = ResultCache::open(&dir).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("ok").unwrap().total_cycles, 7);
+        assert_eq!(c.skipped(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn final_line_without_newline_still_loads() {
+        let dir = tmp_dir("nonewline");
+        fs::create_dir_all(&dir).unwrap();
+        let good = Value::Obj(vec![
+            ("key".into(), Value::Str("tail".into())),
+            (
+                "stats".into(),
+                encode_stats(&Stats {
+                    total_cycles: 3,
+                    ..Stats::default()
+                }),
+            ),
+        ])
+        .encode();
+        fs::write(dir.join(CACHE_FILE), good.as_bytes()).unwrap();
+        let c = ResultCache::open(&dir).unwrap();
+        assert_eq!(c.get("tail").unwrap().total_cycles, 3);
+        assert_eq!(c.skipped(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -234,6 +234,34 @@ impl SweepResult {
         total
     }
 
+    /// Assembles a result from already-materialized records — the path
+    /// `senss-bench` takes when a sweep was executed remotely by
+    /// `senss-serve`. Records are re-sorted by job index and the
+    /// executed/cached split is recomputed from each record's
+    /// provenance flag; the failure list is empty (a remote sweep with
+    /// failures is reported through the serve protocol instead).
+    pub fn from_records(
+        name: impl Into<String>,
+        mut records: Vec<RunRecord>,
+        workers: usize,
+        wall: Duration,
+    ) -> SweepResult {
+        records.sort_by_key(|r| r.index);
+        let cached = records.iter().filter(|r| r.cached).count();
+        let executed = records.len() - cached;
+        let by_spec = records.iter().enumerate().map(|(i, r)| (r.spec, i)).collect();
+        SweepResult {
+            name: name.into(),
+            records,
+            failures: Vec::new(),
+            executed,
+            cached,
+            workers,
+            wall,
+            by_spec,
+        }
+    }
+
     /// One-line human summary (the binaries print this to stderr).
     pub fn summary(&self) -> String {
         format!(
@@ -292,7 +320,18 @@ impl Harness {
     {
         let started = Instant::now();
         let mut cache = match &self.cfg.cache_dir {
-            Some(dir) => Some(ResultCache::open(dir)?),
+            Some(dir) => {
+                let cache = ResultCache::open(dir)?;
+                if cache.skipped() > 0 {
+                    eprintln!(
+                        "harness: skipped {} corrupt cache line(s) in {}; \
+                         affected jobs will re-execute",
+                        cache.skipped(),
+                        dir.display()
+                    );
+                }
+                Some(cache)
+            }
             None => None,
         };
 
@@ -472,5 +511,44 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SecurityMode;
+    use senss_workloads::Workload;
+
+    #[test]
+    fn from_records_rebuilds_lookup_and_provenance() {
+        let base = JobSpec::new(Workload::Fft, 2, 1 << 20).with_ops(100);
+        let sec = base.with_mode(SecurityMode::senss());
+        let record = |index, spec: JobSpec, cached| RunRecord {
+            index,
+            spec,
+            key: spec.cache_key(),
+            stats: Stats {
+                total_cycles: 10 + index as u64,
+                ..Stats::default()
+            },
+            wall_micros: 0,
+            worker: None,
+            attempts: 0,
+            cached,
+        };
+        // Out of order on purpose: from_records must re-sort by index.
+        let result = SweepResult::from_records(
+            "remote",
+            vec![record(1, sec, true), record(0, base, false)],
+            0,
+            Duration::from_millis(5),
+        );
+        assert_eq!(result.records[0].spec, base);
+        assert_eq!(result.executed, 1);
+        assert_eq!(result.cached, 1);
+        assert!(result.is_complete());
+        assert_eq!(result.require(&sec).total_cycles, 11);
+        assert!(result.stats(&base.with_seed(99)).is_none());
     }
 }

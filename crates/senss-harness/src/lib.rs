@@ -35,5 +35,7 @@ pub mod spec;
 
 pub use cache::ResultCache;
 pub use executor::{Harness, HarnessConfig, JobError, JobFailure, SweepResult};
-pub use record::RunRecord;
-pub use spec::{JobSpec, SecurityMode, SweepSpec, TraceSpec, CACHE_FORMAT};
+pub use record::{decode_spec, encode_spec, RunRecord};
+pub use spec::{
+    coherence_from_tag, coherence_tag, JobSpec, SecurityMode, SweepSpec, TraceSpec, CACHE_FORMAT,
+};

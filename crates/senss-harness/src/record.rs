@@ -88,6 +88,39 @@ pub fn decode_stats(obj: &Value) -> Option<Stats> {
     Some(stats)
 }
 
+/// Encodes every [`JobSpec`] field as flat JSON object fields, the
+/// layout shared by run-record lines and the `senss-serve` wire format.
+pub fn encode_spec(spec: &JobSpec) -> Vec<(String, Value)> {
+    vec![
+        ("trace".into(), Value::Str(spec.trace.tag().to_string())),
+        ("cores".into(), Value::UInt(spec.cores as u64)),
+        ("l2_bytes".into(), Value::UInt(spec.l2_bytes as u64)),
+        (
+            "coherence".into(),
+            Value::Str(crate::spec::coherence_tag(spec.coherence).to_string()),
+        ),
+        ("mode".into(), Value::Str(spec.mode.tag())),
+        ("ops_per_core".into(), Value::UInt(spec.ops_per_core as u64)),
+        ("seed".into(), Value::UInt(spec.seed)),
+    ]
+}
+
+/// Decodes a [`JobSpec`] from an object carrying the
+/// [`encode_spec`] fields. Returns `None` on any missing or
+/// unparseable field — callers treat that as a malformed frame.
+pub fn decode_spec(obj: &Value) -> Option<JobSpec> {
+    let uint = |key: &str| obj.get(key).and_then(Value::as_u64);
+    Some(JobSpec {
+        trace: crate::spec::TraceSpec::from_tag(obj.get("trace")?.as_str()?)?,
+        cores: uint("cores")? as usize,
+        l2_bytes: uint("l2_bytes")? as usize,
+        coherence: crate::spec::coherence_from_tag(obj.get("coherence")?.as_str()?)?,
+        mode: crate::spec::SecurityMode::from_tag(obj.get("mode")?.as_str()?)?,
+        ops_per_core: uint("ops_per_core")? as usize,
+        seed: uint("seed")?,
+    })
+}
+
 /// One job's complete execution record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -113,34 +146,40 @@ pub struct RunRecord {
 impl RunRecord {
     /// Serializes the record as one JSONL line (no trailing newline).
     pub fn encode(&self) -> String {
-        let spec = &self.spec;
-        let coherence = match spec.coherence {
-            senss_sim::config::CoherenceProtocol::WriteInvalidate => "invalidate",
-            senss_sim::config::CoherenceProtocol::WriteUpdate => "update",
-        };
-        Value::Obj(vec![
-            ("index".into(), Value::UInt(self.index as u64)),
-            ("key".into(), Value::Str(self.key.clone())),
-            ("trace".into(), Value::Str(spec.trace.tag().to_string())),
-            ("cores".into(), Value::UInt(spec.cores as u64)),
-            ("l2_bytes".into(), Value::UInt(spec.l2_bytes as u64)),
-            ("coherence".into(), Value::Str(coherence.to_string())),
-            ("mode".into(), Value::Str(spec.mode.tag())),
-            ("ops_per_core".into(), Value::UInt(spec.ops_per_core as u64)),
-            ("seed".into(), Value::UInt(spec.seed)),
-            ("wall_micros".into(), Value::UInt(self.wall_micros)),
+        let mut fields = vec![
+            ("index".to_string(), Value::UInt(self.index as u64)),
+            ("key".to_string(), Value::Str(self.key.clone())),
+        ];
+        fields.extend(encode_spec(&self.spec));
+        fields.extend([
+            ("wall_micros".to_string(), Value::UInt(self.wall_micros)),
             (
-                "worker".into(),
+                "worker".to_string(),
                 match self.worker {
                     Some(w) => Value::UInt(w as u64),
                     None => Value::Str("cache".into()),
                 },
             ),
-            ("attempts".into(), Value::UInt(self.attempts as u64)),
-            ("cached".into(), Value::Bool(self.cached)),
-            ("stats".into(), encode_stats(&self.stats)),
-        ])
-        .encode()
+            ("attempts".to_string(), Value::UInt(self.attempts as u64)),
+            ("cached".to_string(), Value::Bool(self.cached)),
+            ("stats".to_string(), encode_stats(&self.stats)),
+        ]);
+        Value::Obj(fields).encode()
+    }
+
+    /// Decodes a record from its parsed JSONL form; `None` means the
+    /// object is not a well-formed record.
+    pub fn decode(obj: &Value) -> Option<RunRecord> {
+        Some(RunRecord {
+            index: obj.get("index")?.as_u64()? as usize,
+            key: obj.get("key")?.as_str()?.to_string(),
+            spec: decode_spec(obj)?,
+            stats: decode_stats(obj.get("stats")?)?,
+            wall_micros: obj.get("wall_micros")?.as_u64()?,
+            worker: obj.get("worker")?.as_u64().map(|w| w as usize),
+            attempts: obj.get("attempts")?.as_u64()? as u32,
+            cached: matches!(obj.get("cached")?, Value::Bool(true)),
+        })
     }
 }
 
@@ -225,5 +264,34 @@ mod tests {
         );
         let stats = decode_stats(parsed.get("stats").unwrap()).unwrap();
         assert_eq!(stats, sample_stats());
+    }
+
+    #[test]
+    fn records_and_specs_round_trip() {
+        let spec = JobSpec::new(Workload::Radix, 2, 1 << 20)
+            .with_mode(SecurityMode::integrated())
+            .with_ops(777)
+            .with_seed(9);
+        assert_eq!(
+            decode_spec(&Value::Obj(encode_spec(&spec))),
+            Some(spec),
+            "spec codec must round-trip"
+        );
+        for worker in [Some(2), None] {
+            let rec = RunRecord {
+                index: 0,
+                spec,
+                key: spec.cache_key(),
+                stats: sample_stats(),
+                wall_micros: 55,
+                worker,
+                attempts: 2,
+                cached: worker.is_none(),
+            };
+            let parsed = json::parse(&rec.encode()).unwrap();
+            assert_eq!(RunRecord::decode(&parsed), Some(rec.clone()));
+        }
+        // A record with a missing field is rejected, not mis-decoded.
+        assert_eq!(RunRecord::decode(&json::parse("{}").unwrap()), None);
     }
 }

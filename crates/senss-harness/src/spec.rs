@@ -131,6 +131,39 @@ impl SecurityMode {
             ),
         }
     }
+
+    /// Parses a [`tag`](SecurityMode::tag) back into a mode — the wire
+    /// format `senss-serve` uses to submit jobs over the network.
+    pub fn from_tag(tag: &str) -> Option<SecurityMode> {
+        if tag == "baseline" {
+            return Some(SecurityMode::Baseline);
+        }
+        let (family, rest) = tag.split_once(':')?;
+        let mut parts = rest.split(':');
+        let masks = parts.next()?.strip_prefix('m')?.parse().ok()?;
+        let auth_interval = parts.next()?.strip_prefix('i')?.parse().ok()?;
+        let cipher = match parts.next()? {
+            "cbc" => CipherMode::CbcTwoPass,
+            "gcm" => CipherMode::GcmSinglePass,
+            _ => return None,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        match family {
+            "senss" => Some(SecurityMode::Senss {
+                masks,
+                auth_interval,
+                cipher,
+            }),
+            "integrated" => Some(SecurityMode::Integrated {
+                masks,
+                auth_interval,
+                cipher,
+            }),
+            _ => None,
+        }
+    }
 }
 
 /// The trace source a job simulates.
@@ -155,6 +188,37 @@ impl TraceSpec {
             TraceSpec::PingPong => "micro:ping_pong",
             TraceSpec::PrivateStream => "micro:private_stream",
         }
+    }
+
+    /// Parses a [`tag`](TraceSpec::tag) back into a trace spec.
+    pub fn from_tag(tag: &str) -> Option<TraceSpec> {
+        match tag {
+            "micro:false_sharing" => Some(TraceSpec::FalseSharing),
+            "micro:ping_pong" => Some(TraceSpec::PingPong),
+            "micro:private_stream" => Some(TraceSpec::PrivateStream),
+            name => Workload::all()
+                .into_iter()
+                .find(|w| w.name() == name)
+                .map(TraceSpec::Workload),
+        }
+    }
+}
+
+/// Canonical tag of a coherence protocol (used in cache keys, run
+/// records and the serve wire format).
+pub fn coherence_tag(p: CoherenceProtocol) -> &'static str {
+    match p {
+        CoherenceProtocol::WriteInvalidate => "invalidate",
+        CoherenceProtocol::WriteUpdate => "update",
+    }
+}
+
+/// Parses a [`coherence_tag`] back into a protocol.
+pub fn coherence_from_tag(tag: &str) -> Option<CoherenceProtocol> {
+    match tag {
+        "invalidate" => Some(CoherenceProtocol::WriteInvalidate),
+        "update" => Some(CoherenceProtocol::WriteUpdate),
+        _ => None,
     }
 }
 
@@ -288,10 +352,7 @@ impl JobSpec {
     /// keys of every affected job.
     pub fn canonical(&self) -> String {
         let c = self.system_config();
-        let coherence = match c.coherence {
-            CoherenceProtocol::WriteInvalidate => "invalidate",
-            CoherenceProtocol::WriteUpdate => "update",
-        };
+        let coherence = coherence_tag(c.coherence);
         format!(
             "v{CACHE_FORMAT}|trace={}|mode={}|ops={}|seed={}|p={}|l1={}:{}:{}:{}|l2={}:{}:{}:{}|\
              lat={}:{}|bus={}:{}|crypto={}:{}|coh={coherence}",
@@ -492,6 +553,39 @@ mod tests {
                 .run();
             assert!(stats.total_cycles > 0, "{mode:?}");
         }
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for mode in [
+            SecurityMode::Baseline,
+            SecurityMode::senss(),
+            SecurityMode::senss_masks(usize::MAX),
+            SecurityMode::senss_interval(1),
+            SecurityMode::integrated(),
+        ] {
+            assert_eq!(SecurityMode::from_tag(&mode.tag()), Some(mode));
+        }
+        for trace in [
+            TraceSpec::Workload(Workload::Fft),
+            TraceSpec::Workload(Workload::Ocean),
+            TraceSpec::FalseSharing,
+            TraceSpec::PingPong,
+            TraceSpec::PrivateStream,
+        ] {
+            assert_eq!(TraceSpec::from_tag(trace.tag()), Some(trace));
+        }
+        for p in [
+            CoherenceProtocol::WriteInvalidate,
+            CoherenceProtocol::WriteUpdate,
+        ] {
+            assert_eq!(coherence_from_tag(coherence_tag(p)), Some(p));
+        }
+        for bad in ["", "senss", "senss:m8", "senss:m8:i1:rot13", "sens:m1:i1:cbc", "quux"] {
+            assert_eq!(SecurityMode::from_tag(bad), None, "{bad}");
+        }
+        assert_eq!(TraceSpec::from_tag("micro:nope"), None);
+        assert_eq!(coherence_from_tag("mesi"), None);
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! A small blocking client for the serve protocol.
+//!
+//! One TCP connection per call keeps the client trivially thread-safe
+//! and immune to server-side idle timeouts; the loopback integration
+//! tests drive many of these concurrently. [`Client::run`] is the
+//! high-level path: submit with bounded retry on `overloaded`, poll
+//! `status`, then stream `results`.
+
+use crate::protocol::{
+    parse_result_line, ErrorClass, JobResult, Request, Response, StatusInfo, SweepState,
+};
+use senss_harness::json::Value;
+use senss_harness::SweepSpec;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server sent something the client cannot interpret.
+    Protocol(String),
+    /// The server replied with a structured error frame.
+    Server {
+        /// Failure class.
+        class: ErrorClass,
+        /// Whether the server says a retry could succeed.
+        retriable: bool,
+        /// Server-provided detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server {
+                class,
+                retriable,
+                message,
+            } => write!(
+                f,
+                "server error [{}{}]: {message}",
+                class.tag(),
+                if *retriable { ", retriable" } else { "" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+    /// Extra attempts after the first on a retriable `overloaded`
+    /// rejection.
+    retries: u32,
+    backoff: Duration,
+}
+
+impl Client {
+    /// A client for `addr` with 30 s I/O timeouts and 3 retries at
+    /// 100 ms starting backoff.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+            retries: 3,
+            backoff: Duration::from_millis(100),
+        }
+    }
+
+    /// Sets the per-call I/O timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets retry count and starting backoff for retriable rejections.
+    pub fn with_retry(mut self, retries: u32, backoff: Duration) -> Client {
+        self.retries = retries;
+        self.backoff = backoff;
+        self
+    }
+
+    fn connect(&self) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), ClientError> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok((BufReader::new(stream.try_clone()?), BufWriter::new(stream)))
+    }
+
+    fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection mid-exchange".to_string(),
+            ));
+        }
+        match Response::decode(line.trim()) {
+            Ok(Response::Error {
+                class,
+                retriable,
+                message,
+            }) => Err(ClientError::Server {
+                class,
+                retriable,
+                message,
+            }),
+            Ok(r) => Ok(r),
+            Err(m) => Err(ClientError::Protocol(m)),
+        }
+    }
+
+    /// Sends one request and reads the first response frame.
+    fn call(&self, request: &Request) -> Result<(BufReader<TcpStream>, Response), ClientError> {
+        let (mut reader, mut writer) = self.connect()?;
+        writeln!(writer, "{}", request.encode())?;
+        writer.flush()?;
+        let response = Self::read_response(&mut reader)?;
+        Ok((reader, response))
+    }
+
+    /// Submits a sweep; no retry. Returns `(id, jobs accepted)`.
+    pub fn submit_once(&self, sweep: &SweepSpec) -> Result<(u64, u64), ClientError> {
+        match self.call(&Request::Submit(sweep.clone()))? {
+            (_, Response::Submitted { id, jobs }) => Ok((id, jobs)),
+            (_, other) => Err(unexpected("submitted", &other)),
+        }
+    }
+
+    /// Submits a sweep, backing off and retrying (up to the configured
+    /// retry budget) when the server sheds load with a retriable
+    /// `overloaded` error.
+    pub fn submit(&self, sweep: &SweepSpec) -> Result<(u64, u64), ClientError> {
+        let mut backoff = self.backoff;
+        let mut attempt = 0;
+        loop {
+            match self.submit_once(sweep) {
+                Err(ClientError::Server {
+                    class: ErrorClass::Overloaded,
+                    retriable: true,
+                    ..
+                }) if attempt < self.retries => {
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Queries a sweep's status.
+    pub fn status(&self, id: u64) -> Result<StatusInfo, ClientError> {
+        match self.call(&Request::Status { id })? {
+            (_, Response::Status(info)) => Ok(info),
+            (_, other) => Err(unexpected("status", &other)),
+        }
+    }
+
+    /// Streams a finished sweep's raw result lines (exactly the bytes
+    /// the server sent, minus newlines).
+    pub fn results_raw(&self, id: u64) -> Result<Vec<String>, ClientError> {
+        let (mut reader, header) = self.call(&Request::Results { id })?;
+        let count = match header {
+            Response::ResultsHeader { count, .. } => count,
+            other => return Err(unexpected("results", &other)),
+        };
+        let mut lines = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Protocol(
+                    "result stream ended before the promised count".to_string(),
+                ));
+            }
+            lines.push(line.trim_end_matches(['\r', '\n']).to_string());
+        }
+        match Self::read_response(&mut reader)? {
+            Response::End { count: n, .. } if n == count => Ok(lines),
+            other => Err(unexpected("end", &other)),
+        }
+    }
+
+    /// Streams and parses a finished sweep's results.
+    pub fn results(&self, id: u64) -> Result<Vec<JobResult>, ClientError> {
+        self.results_raw(id)?
+            .iter()
+            .map(|l| parse_result_line(l).map_err(ClientError::Protocol))
+            .collect()
+    }
+
+    /// Snapshots the server's metrics registry.
+    pub fn metrics(&self) -> Result<Value, ClientError> {
+        match self.call(&Request::Metrics)? {
+            (_, Response::Metrics(snapshot)) => Ok(snapshot),
+            (_, other) => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            (_, Response::Pong) => Ok(()),
+            (_, other) => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            (_, Response::ShuttingDown) => Ok(()),
+            (_, other) => Err(unexpected("shutting_down", &other)),
+        }
+    }
+
+    /// Submit → poll status → stream results, the full cycle. `poll` is
+    /// the status-poll interval.
+    pub fn run(&self, sweep: &SweepSpec, poll: Duration) -> Result<Vec<JobResult>, ClientError> {
+        let (id, _) = self.submit(sweep)?;
+        loop {
+            let info = self.status(id)?;
+            match info.state {
+                SweepState::Done => return self.results(id),
+                SweepState::Failed => {
+                    return Err(ClientError::Server {
+                        class: ErrorClass::Internal,
+                        retriable: false,
+                        message: info.message,
+                    })
+                }
+                SweepState::Queued | SweepState::Running => std::thread::sleep(poll),
+            }
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected a {wanted} frame, got: {}", got.encode()))
+}

@@ -1,0 +1,37 @@
+//! # senss-serve — the networked simulation service
+//!
+//! The paper's deployment story (§4.1) is a client dispatching work to
+//! a trusted processor group over an untrusted transport; this crate is
+//! that serving path for the reproduction: a std-only, multi-threaded
+//! TCP service exposing the [`senss_harness`] executor over a
+//! newline-delimited JSON protocol.
+//!
+//! * [`protocol`] — versioned request/response frames (`submit` a
+//!   [`SweepSpec`](senss_harness::SweepSpec), `status`, streamed
+//!   `results`, `metrics`, `shutdown`) plus the deterministic per-job
+//!   result-line codec.
+//! * [`server`] — bounded accept/worker pools and a bounded job queue
+//!   that **rejects with a retriable `overloaded` error instead of
+//!   blocking**; per-connection read/write timeouts; malformed frames
+//!   answered, never fatal; drain-then-exit shutdown.
+//! * [`metrics`] — lock-free in-process registry (request/error
+//!   counters, executed-vs-cached jobs, queue-depth gauge, wall-latency
+//!   histogram) snapshotted into `metrics` responses.
+//! * [`client`] — a blocking client used by the `senss-serve` CLI, the
+//!   loopback tests, and `senss-bench`'s `SENSS_SERVE` bridge.
+//!
+//! See `docs/serving.md` for the protocol reference, failure and
+//! backpressure semantics, and the metrics glossary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use metrics::Metrics;
+pub use protocol::{ErrorClass, JobResult, Request, Response, StatusInfo, SweepState};
+pub use server::{Server, ServerConfig, ServerHandle};

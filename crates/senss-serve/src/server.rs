@@ -1,0 +1,701 @@
+//! The multi-threaded TCP server.
+//!
+//! Thread shape: one accept thread, a fixed pool of connection-handler
+//! threads fed by a **bounded** pending-connection queue, and one
+//! executor thread that drains a **bounded** sweep queue through the
+//! [`Harness`]. Both bounds shed load instead of blocking: a full
+//! pending-connection queue turns the connection away with an
+//! `overloaded` error frame, and a full sweep queue rejects `submit`
+//! with the same retriable class — the server's latency stays flat and
+//! clients are told to back off (see `docs/serving.md`).
+//!
+//! Degradation rules: a malformed frame produces an `error` reply and
+//! the connection keeps being served; a frame over the size cap or an
+//! idle/read-timeout closes only that connection; per-job panics are
+//! already isolated inside the harness. Nothing a client sends can
+//! take the process down.
+//!
+//! Shutdown is drain-then-exit: after a `shutdown` frame (or
+//! [`ServerHandle::shutdown`]) the server stops accepting work, the
+//! executor finishes every queued sweep, and all threads join.
+
+use crate::metrics::Metrics;
+use crate::protocol::{ErrorClass, Request, Response, StatusInfo, SweepState};
+use senss_harness::{Harness, HarnessConfig, JobSpec, SweepSpec};
+use senss_sim::Stats;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A pluggable job runner, used by tests to make execution time and
+/// failures deterministic. `None` in [`ServerConfig`] means the real
+/// [`JobSpec::run`].
+pub type JobRunner = Arc<dyn Fn(&JobSpec) -> Stats + Send + Sync>;
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:4765` (`:0` picks a free port).
+    pub addr: String,
+    /// Connection-handler thread count.
+    pub conn_workers: usize,
+    /// Bound on accepted-but-unhandled connections; beyond it new
+    /// connections get an `overloaded` frame and are closed.
+    pub pending_conns: usize,
+    /// Bound on queued (not yet running) sweeps; beyond it `submit`
+    /// returns the retriable `overloaded` error.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout (idle connections are closed).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Maximum request-frame size in bytes.
+    pub max_frame_bytes: usize,
+    /// Harness configuration for sweep execution.
+    pub harness: HarnessConfig,
+    /// Test hook: replaces [`JobSpec::run`].
+    pub runner: Option<JobRunner>,
+    /// Suppress stderr logging.
+    pub quiet: bool,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("addr", &self.addr)
+            .field("conn_workers", &self.conn_workers)
+            .field("pending_conns", &self.pending_conns)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("max_frame_bytes", &self.max_frame_bytes)
+            .field("harness", &self.harness)
+            .field("runner", &self.runner.as_ref().map(|_| "<custom>"))
+            .field("quiet", &self.quiet)
+            .finish()
+    }
+}
+
+impl ServerConfig {
+    /// Production-ish defaults on `addr`, harness from the environment
+    /// ([`HarnessConfig::from_env`]).
+    pub fn new(addr: impl Into<String>) -> ServerConfig {
+        ServerConfig {
+            addr: addr.into(),
+            conn_workers: 8,
+            pending_conns: 64,
+            queue_capacity: 32,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_frame_bytes: 8 << 20,
+            harness: HarnessConfig::from_env(),
+            runner: None,
+            quiet: false,
+        }
+    }
+
+    /// A loopback configuration for tests: ephemeral port, hermetic
+    /// harness (no cache/records on disk), short timeouts, quiet.
+    pub fn loopback() -> ServerConfig {
+        ServerConfig {
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            harness: HarnessConfig::hermetic().with_workers(2),
+            quiet: true,
+            ..ServerConfig::new("127.0.0.1:0")
+        }
+    }
+
+    /// Sets the connection-handler thread count.
+    pub fn with_conn_workers(mut self, n: usize) -> ServerConfig {
+        self.conn_workers = n.max(1);
+        self
+    }
+
+    /// Sets the sweep-queue bound.
+    pub fn with_queue_capacity(mut self, n: usize) -> ServerConfig {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Sets the harness configuration.
+    pub fn with_harness(mut self, harness: HarnessConfig) -> ServerConfig {
+        self.harness = harness;
+        self
+    }
+
+    /// Installs a custom job runner (tests).
+    pub fn with_runner(mut self, runner: JobRunner) -> ServerConfig {
+        self.runner = Some(runner);
+        self
+    }
+}
+
+enum EntryState {
+    Queued(SweepSpec),
+    Running,
+    Done {
+        lines: Arc<Vec<String>>,
+        executed: u64,
+        cached: u64,
+        failures: u64,
+    },
+    Failed {
+        message: String,
+    },
+}
+
+struct Entry {
+    jobs: u64,
+    state: EntryState,
+}
+
+#[derive(Default)]
+struct JobTable {
+    next_id: u64,
+    entries: HashMap<u64, Entry>,
+    queue: VecDeque<u64>,
+}
+
+struct Shared {
+    metrics: Arc<Metrics>,
+    table: Mutex<JobTable>,
+    queue_cv: Condvar,
+    conns: Mutex<VecDeque<TcpStream>>,
+    conns_cv: Condvar,
+    shutdown: AtomicBool,
+    queue_capacity: usize,
+    pending_conns: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    max_frame_bytes: usize,
+    quiet: bool,
+}
+
+impl Shared {
+    fn log(&self, msg: std::fmt::Arguments<'_>) {
+        if !self.quiet {
+            eprintln!("senss-serve: {msg}");
+        }
+    }
+}
+
+/// A running server: its bound address, live metrics, and join/shutdown
+/// control. Dropping the handle without calling
+/// [`shutdown`](ServerHandle::shutdown) or [`join`](ServerHandle::join)
+/// detaches the threads.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+/// Alias kept for readability at call sites: [`Server::start`] returns
+/// the handle you keep.
+pub type ServerHandle = Server;
+
+impl Server {
+    /// Binds `cfg.addr` and spawns the accept, connection and executor
+    /// threads. Returns as soon as the socket is listening.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            metrics: Arc::new(Metrics::new()),
+            table: Mutex::new(JobTable::default()),
+            queue_cv: Condvar::new(),
+            conns: Mutex::new(VecDeque::new()),
+            conns_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            queue_capacity: cfg.queue_capacity,
+            pending_conns: cfg.pending_conns,
+            read_timeout: cfg.read_timeout,
+            write_timeout: cfg.write_timeout,
+            max_frame_bytes: cfg.max_frame_bytes,
+            quiet: cfg.quiet,
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || accept_loop(listener, &shared)));
+        }
+        for _ in 0..cfg.conn_workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || conn_worker(&shared)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            let harness = Harness::new(cfg.harness.clone());
+            let runner = cfg.runner.clone();
+            threads.push(std::thread::spawn(move || {
+                executor_loop(&shared, &harness, runner.as_ref())
+            }));
+        }
+        Ok(Server {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// An owned handle on the metrics registry that outlives the
+    /// server — lets callers inspect final counts after
+    /// [`join`](Server::join)/[`shutdown`](Server::shutdown).
+    pub fn metrics_handle(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Whether shutdown has been triggered (by a client frame or
+    /// locally).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Triggers drain-then-exit shutdown and joins every thread.
+    pub fn shutdown(self) {
+        trigger_shutdown(&self.shared, self.addr);
+        self.join();
+    }
+
+    /// Joins every thread; returns once the server has fully exited
+    /// (i.e. after shutdown was triggered by some client or by
+    /// [`shutdown`](Server::shutdown)).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue_cv.notify_all();
+    shared.conns_cv.notify_all();
+    // Unblock the accept loop: it re-checks the flag after every accept.
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                shared.log(format_args!("accept failed: {e}"));
+                continue;
+            }
+        };
+        shared
+            .metrics
+            .connections_total
+            .fetch_add(1, Ordering::Relaxed);
+        let mut conns = shared.conns.lock().expect("conns lock poisoned");
+        if conns.len() >= shared.pending_conns {
+            drop(conns);
+            shared
+                .metrics
+                .connections_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.record_error(ErrorClass::Overloaded);
+            reject_connection(stream, shared);
+            continue;
+        }
+        conns.push_back(stream);
+        drop(conns);
+        shared.conns_cv.notify_one();
+    }
+}
+
+/// Sheds an over-capacity connection with a structured error so the
+/// client knows to back off rather than seeing a bare RST.
+fn reject_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
+    let mut w = BufWriter::new(stream);
+    let frame = Response::error(
+        ErrorClass::Overloaded,
+        format!(
+            "connection queue full ({} pending); retry with backoff",
+            shared.pending_conns
+        ),
+    )
+    .encode();
+    let _ = writeln!(w, "{frame}");
+    let _ = w.flush();
+}
+
+fn conn_worker(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut conns = shared.conns.lock().expect("conns lock poisoned");
+            loop {
+                if let Some(s) = conns.pop_front() {
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                conns = shared.conns_cv.wait(conns).expect("conns lock poisoned");
+            }
+        };
+        if let Err(e) = handle_connection(stream, shared) {
+            shared.log(format_args!("connection error: {e}"));
+        }
+    }
+}
+
+enum Frame {
+    Eof,
+    TooLong,
+    BadUtf8,
+    Line(String),
+}
+
+fn read_frame(reader: &mut BufReader<TcpStream>, max: usize) -> std::io::Result<Frame> {
+    let mut buf = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(max as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(Frame::Eof);
+    }
+    if buf.last() != Some(&b'\n') && buf.len() > max {
+        return Ok(Frame::TooLong);
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(Frame::Line(s)),
+        Err(_) => Ok(Frame::BadUtf8),
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(shared.read_timeout))?;
+    stream.set_write_timeout(Some(shared.write_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Finish serving after a drain begins; new frames on old
+            // connections would race the exiting executor anyway.
+            return Ok(());
+        }
+        let line = match read_frame(&mut reader, shared.max_frame_bytes) {
+            Ok(Frame::Eof) => return Ok(()),
+            Ok(Frame::TooLong) => {
+                // The rest of the oversized frame is unread, so the
+                // stream is no longer in sync: reply, then close.
+                reply_error(
+                    &mut writer,
+                    shared,
+                    ErrorClass::Malformed,
+                    format!("frame exceeds {} bytes", shared.max_frame_bytes),
+                )?;
+                return Ok(());
+            }
+            Ok(Frame::BadUtf8) => {
+                reply_error(
+                    &mut writer,
+                    shared,
+                    ErrorClass::Malformed,
+                    "frame is not valid UTF-8",
+                )?;
+                continue;
+            }
+            Ok(Frame::Line(l)) => l,
+            // Read timeout (idle connection) or peer reset: close
+            // quietly, the process keeps serving everyone else.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let request = match Request::decode(line) {
+            Ok(r) => r,
+            Err((class, message)) => {
+                reply_error(&mut writer, shared, class, message)?;
+                continue;
+            }
+        };
+        shared.metrics.record_request(request.kind());
+        let is_shutdown = matches!(request, Request::Shutdown);
+        dispatch(request, shared, &mut writer)?;
+        writer.flush()?;
+        shared.metrics.latency.observe(started.elapsed());
+        if is_shutdown {
+            return Ok(());
+        }
+    }
+}
+
+fn reply_error(
+    writer: &mut BufWriter<TcpStream>,
+    shared: &Shared,
+    class: ErrorClass,
+    message: impl Into<String>,
+) -> std::io::Result<()> {
+    shared.metrics.record_error(class);
+    writeln!(writer, "{}", Response::error(class, message).encode())?;
+    writer.flush()
+}
+
+fn dispatch(
+    request: Request,
+    shared: &Shared,
+    writer: &mut BufWriter<TcpStream>,
+) -> std::io::Result<()> {
+    match request {
+        Request::Submit(sweep) => {
+            let response = submit(sweep, shared);
+            if let Response::Error { class, .. } = &response {
+                shared.metrics.record_error(*class);
+            }
+            writeln!(writer, "{}", response.encode())
+        }
+        Request::Status { id } => {
+            let response = status(id, shared);
+            if let Response::Error { class, .. } = &response {
+                shared.metrics.record_error(*class);
+            }
+            writeln!(writer, "{}", response.encode())
+        }
+        Request::Results { id } => results(id, shared, writer),
+        Request::Metrics => {
+            let snapshot = shared.metrics.snapshot();
+            writeln!(writer, "{}", Response::Metrics(snapshot).encode())
+        }
+        Request::Ping => writeln!(writer, "{}", Response::Pong.encode()),
+        Request::Shutdown => {
+            writeln!(writer, "{}", Response::ShuttingDown.encode())?;
+            writer.flush()?;
+            shared.log(format_args!("shutdown requested; draining queue"));
+            // The address is only needed to wake accept; connect via the
+            // stream's own local view of the server.
+            let addr = writer.get_ref().local_addr()?;
+            trigger_shutdown(shared, addr);
+            Ok(())
+        }
+    }
+}
+
+fn submit(sweep: SweepSpec, shared: &Shared) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::error(ErrorClass::ShuttingDown, "server is draining");
+    }
+    let jobs = sweep.len() as u64;
+    let mut table = shared.table.lock().expect("table lock poisoned");
+    if table.queue.len() >= shared.queue_capacity {
+        return Response::error(
+            ErrorClass::Overloaded,
+            format!(
+                "sweep queue full ({} queued, capacity {}); retry with backoff",
+                table.queue.len(),
+                shared.queue_capacity
+            ),
+        );
+    }
+    let id = table.next_id;
+    table.next_id += 1;
+    table.entries.insert(
+        id,
+        Entry {
+            jobs,
+            state: EntryState::Queued(sweep),
+        },
+    );
+    table.queue.push_back(id);
+    drop(table);
+    shared.metrics.queue_pushed();
+    shared
+        .metrics
+        .sweeps_submitted
+        .fetch_add(1, Ordering::Relaxed);
+    shared.queue_cv.notify_one();
+    Response::Submitted { id, jobs }
+}
+
+fn status(id: u64, shared: &Shared) -> Response {
+    let table = shared.table.lock().expect("table lock poisoned");
+    let Some(entry) = table.entries.get(&id) else {
+        return Response::error(ErrorClass::NotFound, format!("no sweep with id {id}"));
+    };
+    let mut info = StatusInfo {
+        id,
+        state: SweepState::Queued,
+        jobs: entry.jobs,
+        executed: 0,
+        cached: 0,
+        failures: 0,
+        message: String::new(),
+    };
+    match &entry.state {
+        EntryState::Queued(_) => {}
+        EntryState::Running => info.state = SweepState::Running,
+        EntryState::Done {
+            executed,
+            cached,
+            failures,
+            ..
+        } => {
+            info.state = SweepState::Done;
+            info.executed = *executed;
+            info.cached = *cached;
+            info.failures = *failures;
+        }
+        EntryState::Failed { message } => {
+            info.state = SweepState::Failed;
+            info.message = message.clone();
+        }
+    }
+    Response::Status(info)
+}
+
+fn results(id: u64, shared: &Shared, writer: &mut BufWriter<TcpStream>) -> std::io::Result<()> {
+    let outcome = {
+        let table = shared.table.lock().expect("table lock poisoned");
+        match table.entries.get(&id) {
+            None => Err(Response::error(
+                ErrorClass::NotFound,
+                format!("no sweep with id {id}"),
+            )),
+            Some(entry) => match &entry.state {
+                EntryState::Queued(_) | EntryState::Running => Err(Response::error(
+                    ErrorClass::NotReady,
+                    format!("sweep {id} has not finished; poll status"),
+                )),
+                EntryState::Failed { message } => Err(Response::error(
+                    ErrorClass::Internal,
+                    format!("sweep {id} failed: {message}"),
+                )),
+                EntryState::Done { lines, .. } => Ok(Arc::clone(lines)),
+            },
+        }
+    };
+    match outcome {
+        Err(response) => {
+            if let Response::Error { class, .. } = &response {
+                shared.metrics.record_error(*class);
+            }
+            writeln!(writer, "{}", response.encode())
+        }
+        Ok(lines) => {
+            let count = lines.len() as u64;
+            writeln!(
+                writer,
+                "{}",
+                Response::ResultsHeader { id, count }.encode()
+            )?;
+            for line in lines.iter() {
+                writeln!(writer, "{line}")?;
+            }
+            writeln!(writer, "{}", Response::End { id, count }.encode())
+        }
+    }
+}
+
+fn executor_loop(shared: &Shared, harness: &Harness, runner: Option<&JobRunner>) {
+    loop {
+        let (id, sweep) = {
+            let mut table = shared.table.lock().expect("table lock poisoned");
+            loop {
+                if let Some(id) = table.queue.pop_front() {
+                    let entry = table.entries.get_mut(&id).expect("queued id has entry");
+                    let state = std::mem::replace(&mut entry.state, EntryState::Running);
+                    let EntryState::Queued(sweep) = state else {
+                        unreachable!("queued sweep must be in Queued state");
+                    };
+                    break (id, sweep);
+                }
+                // Drain-then-exit: leave only once the queue is empty.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                table = shared.queue_cv.wait(table).expect("table lock poisoned");
+            }
+        };
+        shared.metrics.queue_popped();
+        let outcome = match runner {
+            Some(r) => harness.run_with(&sweep, |j| r(j)),
+            None => harness.run(&sweep),
+        };
+        let mut table = shared.table.lock().expect("table lock poisoned");
+        let entry = table.entries.get_mut(&id).expect("running id has entry");
+        match outcome {
+            Ok(result) => {
+                shared
+                    .metrics
+                    .jobs_executed
+                    .fetch_add(result.executed as u64, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .jobs_cached
+                    .fetch_add(result.cached as u64, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .jobs_failed
+                    .fetch_add(result.failures.len() as u64, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .sweeps_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                entry.state = EntryState::Done {
+                    lines: Arc::new(
+                        result.records.iter().map(crate::protocol::result_line).collect(),
+                    ),
+                    executed: result.executed as u64,
+                    cached: result.cached as u64,
+                    failures: result.failures.len() as u64,
+                };
+            }
+            Err(e) => {
+                shared
+                    .metrics
+                    .sweeps_failed
+                    .fetch_add(1, Ordering::Relaxed);
+                entry.state = EntryState::Failed {
+                    message: e.to_string(),
+                };
+            }
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Loopback integration tests: the acceptance criteria of the serving
+//! subsystem.
+//!
+//! * ≥8 concurrent clients drive full submit→status→results cycles and
+//!   every byte matches a direct [`Harness`] run of the same spec;
+//! * a full queue rejects with the retriable `overloaded` error instead
+//!   of hanging, and the server keeps serving;
+//! * malformed frames get structured error replies without killing the
+//!   connection or the process;
+//! * the metrics snapshot reflects the traffic;
+//! * shutdown drains the queue before exiting.
+
+use senss_harness::{Harness, HarnessConfig, JobSpec, SecurityMode, SweepSpec};
+use senss_sim::Stats;
+use senss_serve::protocol::{self, Request, Response};
+use senss_serve::{Client, ClientError, ErrorClass, Server, ServerConfig, SweepState};
+use senss_workloads::Workload;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_sweep(name: &str, seed: u64) -> SweepSpec {
+    let mut sweep = SweepSpec::new(name);
+    sweep.grid(
+        &[Workload::Fft, Workload::Lu],
+        &[2],
+        &[1 << 20],
+        &[SecurityMode::Baseline, SecurityMode::senss()],
+        400,
+        seed,
+    );
+    sweep
+}
+
+fn direct_result_lines(sweep: &SweepSpec) -> Vec<String> {
+    let result = Harness::new(HarnessConfig::hermetic())
+        .run(sweep)
+        .expect("direct run");
+    assert!(result.is_complete());
+    result.records.iter().map(protocol::result_line).collect()
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_results() {
+    let server = Server::start(ServerConfig::loopback()).unwrap();
+    let addr = server.addr().to_string();
+
+    const CLIENTS: usize = 8;
+    let mut threads = Vec::new();
+    for i in 0..CLIENTS {
+        let addr = addr.clone();
+        threads.push(std::thread::spawn(move || {
+            // Distinct seeds so every client's sweep (and result bytes)
+            // differ; identical bytes across clients would mask mixups.
+            let sweep = small_sweep(&format!("conc-{i}"), 100 + i as u64);
+            let client = Client::new(&addr).with_timeout(Duration::from_secs(30));
+            let (id, jobs) = client.submit(&sweep).expect("submit");
+            assert_eq!(jobs, sweep.len() as u64);
+            // Full cycle: poll status until done, then stream results.
+            loop {
+                let info = client.status(id).expect("status");
+                assert_eq!(info.jobs, sweep.len() as u64);
+                match info.state {
+                    SweepState::Done => break,
+                    SweepState::Failed => panic!("sweep failed: {}", info.message),
+                    _ => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+            let remote = client.results_raw(id).expect("results");
+            (sweep, remote)
+        }));
+    }
+    for t in threads {
+        let (sweep, remote) = t.join().expect("client thread");
+        assert_eq!(
+            remote,
+            direct_result_lines(&sweep),
+            "served results must be byte-identical to a direct harness run"
+        );
+    }
+
+    let m = server.metrics().snapshot();
+    let get = |k: &str| m.get(k).and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(get("sweeps_completed"), CLIENTS as u64);
+    assert_eq!(get("jobs_executed"), (CLIENTS * 4) as u64);
+    assert!(get("requests_total") >= (CLIENTS * 3) as u64);
+    assert_eq!(get("queue_depth"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn parsed_results_match_direct_stats() {
+    let server = Server::start(ServerConfig::loopback()).unwrap();
+    let client = Client::new(server.addr().to_string());
+    let sweep = small_sweep("parsed", 7);
+    let results = client.run(&sweep, Duration::from_millis(20)).expect("run");
+    let direct = Harness::new(HarnessConfig::hermetic()).run(&sweep).unwrap();
+    assert_eq!(results.len(), direct.records.len());
+    for (got, want) in results.iter().zip(&direct.records) {
+        assert_eq!(got.spec, want.spec);
+        assert_eq!(got.key, want.key);
+        assert_eq!(got.stats, want.stats);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn overloaded_queue_rejects_retriably_and_keeps_serving() {
+    // A runner that blocks until released keeps the executor busy on
+    // the first sweep, so the queue fills deterministically.
+    let release = Arc::new(AtomicBool::new(false));
+    let runner_release = Arc::clone(&release);
+    let cfg = ServerConfig::loopback()
+        .with_queue_capacity(1)
+        .with_runner(Arc::new(move |_spec: &JobSpec| {
+            while !runner_release.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Stats {
+                total_cycles: 1,
+                ..Stats::default()
+            }
+        }));
+    let server = Server::start(cfg).unwrap();
+    let client = Client::new(server.addr().to_string()).with_retry(0, Duration::from_millis(1));
+
+    let one_job = |name: &str| {
+        let mut s = SweepSpec::new(name);
+        s.push(JobSpec::new(Workload::Fft, 2, 1 << 20).with_ops(100));
+        s
+    };
+    // First sweep: picked up by the executor (blocked in the runner).
+    let (running_id, _) = client.submit(&one_job("running")).expect("first submit");
+    // Wait until it leaves the queue so capacity accounting is exact.
+    loop {
+        if client.status(running_id).unwrap().state == SweepState::Running {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Second sweep: fills the queue (capacity 1).
+    let (queued_id, _) = client.submit(&one_job("queued")).expect("second submit");
+    // Third sweep: must be rejected retriably — not block, not hang.
+    match client.submit_once(&one_job("rejected")) {
+        Err(ClientError::Server {
+            class: ErrorClass::Overloaded,
+            retriable: true,
+            ..
+        }) => {}
+        other => panic!("expected retriable overloaded, got {other:?}"),
+    }
+    // The server keeps serving after shedding load.
+    client.ping().expect("ping after overload");
+    let m = client.metrics().expect("metrics after overload");
+    assert_eq!(m.get("errors_overloaded").unwrap().as_u64(), Some(1));
+    assert_eq!(m.get("queue_depth").unwrap().as_u64(), Some(1));
+    assert_eq!(m.get("queue_depth_max").unwrap().as_u64(), Some(1));
+
+    // Release the runner; both accepted sweeps must finish.
+    release.store(true, Ordering::SeqCst);
+    for id in [running_id, queued_id] {
+        loop {
+            match client.status(id).unwrap().state {
+                SweepState::Done => break,
+                SweepState::Failed => panic!("sweep {id} failed"),
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_and_connection_survives() {
+    let server = Server::start(ServerConfig::loopback()).unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = BufWriter::new(stream);
+    let mut exchange = |line: &str| -> Response {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        Response::decode(reply.trim()).expect("parseable reply")
+    };
+
+    // Garbage, wrong shape, unknown type, wrong version: each answered
+    // with a structured error on the SAME connection.
+    for (frame, class) in [
+        ("this is not json", ErrorClass::Malformed),
+        ("{\"v\":1}", ErrorClass::Malformed),
+        ("{\"v\":1,\"type\":\"frobnicate\"}", ErrorClass::Malformed),
+        ("{\"v\":99,\"type\":\"ping\"}", ErrorClass::UnsupportedVersion),
+        (
+            "{\"v\":1,\"type\":\"submit\",\"jobs\":[{\"trace\":\"nope\"}]}",
+            ErrorClass::Malformed,
+        ),
+    ] {
+        match exchange(frame) {
+            Response::Error {
+                class: got,
+                retriable,
+                ..
+            } => {
+                assert_eq!(got, class, "frame {frame:?}");
+                assert!(!retriable);
+            }
+            other => panic!("expected error for {frame:?}, got {other:?}"),
+        }
+    }
+
+    // The connection still works for a valid request afterwards.
+    match exchange(&Request::Ping.encode()) {
+        Response::Pong => {}
+        other => panic!("expected pong, got {other:?}"),
+    }
+    drop(writer);
+    drop(reader);
+
+    // And the process still serves other clients.
+    let client = Client::new(server.addr().to_string());
+    client.ping().expect("server survived malformed frames");
+    let m = client.metrics().unwrap();
+    assert_eq!(m.get("errors_malformed").unwrap().as_u64(), Some(4));
+    assert_eq!(m.get("errors_unsupported_version").unwrap().as_u64(), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn unknown_ids_and_unfinished_sweeps_are_classified() {
+    let server = Server::start(ServerConfig::loopback()).unwrap();
+    let client = Client::new(server.addr().to_string());
+    match client.status(12345) {
+        Err(ClientError::Server {
+            class: ErrorClass::NotFound,
+            retriable: false,
+            ..
+        }) => {}
+        other => panic!("expected not_found, got {other:?}"),
+    }
+    match client.results(12345) {
+        Err(ClientError::Server {
+            class: ErrorClass::NotFound,
+            ..
+        }) => {}
+        other => panic!("expected not_found, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn metrics_reflect_traffic_including_cache_hits() {
+    // A cache-enabled harness in a temp dir: resubmitting the same
+    // sweep must be served from the cache, visible in the metrics.
+    let dir = std::env::temp_dir().join(format!("senss-serve-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServerConfig::loopback().with_harness(
+        HarnessConfig::hermetic()
+            .with_workers(2)
+            .with_cache_dir(&dir),
+    );
+    let server = Server::start(cfg).unwrap();
+    let client = Client::new(server.addr().to_string());
+    let sweep = small_sweep("cachehit", 3);
+
+    let first = client.run(&sweep, Duration::from_millis(20)).expect("first");
+    let second = client.run(&sweep, Duration::from_millis(20)).expect("second");
+    assert_eq!(first, second, "cache-served results must be identical");
+
+    let m = client.metrics().unwrap();
+    let get = |k: &str| m.get(k).and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(get("sweeps_submitted"), 2);
+    assert_eq!(get("sweeps_completed"), 2);
+    assert_eq!(get("jobs_executed"), 4, "first submission executes");
+    assert_eq!(get("jobs_cached"), 4, "second submission is cache-served");
+    assert!(get("requests_submit") == 2);
+    assert!(get("requests_status") >= 2);
+    assert!(get("requests_results") == 2);
+    assert!(get("connections_total") > 0);
+    let lat = m.get("latency_micros").unwrap();
+    // The in-flight metrics request is counted in requests_total but
+    // its latency lands only after this snapshot is written, hence -1.
+    assert!(
+        lat.get("count").unwrap().as_u64().unwrap() >= get("requests_total") - 1,
+        "every dispatched request is observed in the latency histogram"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_queued_sweeps_before_exit() {
+    let server = Server::start(ServerConfig::loopback()).unwrap();
+    let metrics = server.metrics_handle();
+    let client = Client::new(server.addr().to_string());
+    let (_, jobs) = client.submit(&small_sweep("drain", 11)).expect("submit");
+    assert_eq!(jobs, 4);
+    client.shutdown().expect("shutdown ack");
+    // Join returns only after the drain, so by now the queued sweep
+    // must have run to completion (the registry outlives the sockets).
+    server.join();
+    assert_eq!(
+        metrics
+            .sweeps_completed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1,
+        "drain-then-exit must finish the queued sweep"
+    );
+    assert_eq!(metrics.queue_depth.load(std::sync::atomic::Ordering::Relaxed), 0);
+}
+
+#[test]
+fn submits_after_shutdown_are_refused() {
+    let server = Server::start(ServerConfig::loopback()).unwrap();
+    let addr = server.addr();
+    let client = Client::new(addr.to_string());
+    client.shutdown().expect("shutdown ack");
+    // A submit racing the drain either gets the shutting_down error or
+    // can no longer connect — both are acceptable refusals; what must
+    // never happen is acceptance.
+    match client.submit_once(&small_sweep("late", 1)) {
+        Err(ClientError::Server {
+            class: ErrorClass::ShuttingDown,
+            ..
+        }) => {}
+        Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {}
+        Ok(other) => panic!("late submit must be refused, got {other:?}"),
+        Err(e) => panic!("unexpected error {e}"),
+    }
+    server.join();
+}

@@ -1,0 +1,203 @@
+//! Event-loop hot-path micro-benchmark with a machine-readable output.
+//!
+//! Times `System::run` — the inner loop every figure and every
+//! `senss-serve` job spends its cycles in — on the fft/radix/ocean
+//! traces at 4/8/16 processors, under the insecure baseline and under
+//! SENSS-CBC (the paper's default security mode). Each configuration is
+//! run several times; the per-iteration events/sec and simulated
+//! cycles/sec rates are summarized as median / p10 / p90 and written as
+//! JSON to `BENCH_sim.json` (see `docs/perf.md` for the schema and how
+//! to compare two runs).
+//!
+//! ```text
+//! sim_hotpath [--smoke] [--iters N] [--ops N] [--out PATH]
+//! ```
+//!
+//! `--smoke` is the CI mode: a tiny trace and a single iteration, so the
+//! binary and its JSON emission stay exercised without burning minutes.
+
+use senss_bench::benchkit::black_box;
+use senss_harness::json::Value;
+use senss_harness::{JobSpec, SecurityMode};
+use senss_workloads::Workload;
+use std::time::Instant;
+
+/// One benchmark configuration (a cell of the workload × processors ×
+/// mode grid).
+struct Config {
+    workload: Workload,
+    processors: usize,
+    mode: SecurityMode,
+}
+
+/// One configuration's measured summary.
+struct Measured {
+    config: Config,
+    /// Events the loop dispatched in one run (identical across
+    /// iterations — the simulator is deterministic).
+    events: u64,
+    /// Simulated cycles of one run.
+    sim_cycles: u64,
+    /// Per-iteration events/sec samples.
+    events_per_sec: Vec<f64>,
+    /// Per-iteration simulated-cycles/sec samples.
+    cycles_per_sec: Vec<f64>,
+}
+
+fn mode_tag(mode: SecurityMode) -> &'static str {
+    match mode {
+        SecurityMode::Baseline => "baseline",
+        _ => "senss-cbc",
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample set (q in 0..=100).
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn summary(samples: &[f64]) -> Value {
+    let as_uint = |v: f64| Value::UInt(v.round().max(0.0) as u64);
+    Value::Obj(vec![
+        ("median".to_string(), as_uint(percentile(samples, 50.0))),
+        ("p10".to_string(), as_uint(percentile(samples, 10.0))),
+        ("p90".to_string(), as_uint(percentile(samples, 90.0))),
+    ])
+}
+
+fn run_config(config: Config, ops: usize, iters: usize) -> Measured {
+    let job = JobSpec::new(config.workload, config.processors, 1 << 20)
+        .with_mode(config.mode)
+        .with_ops(ops);
+    let mut events = 0;
+    let mut sim_cycles = 0;
+    let mut events_per_sec = Vec::with_capacity(iters);
+    let mut cycles_per_sec = Vec::with_capacity(iters);
+    // One untimed warmup run per config settles the allocator and caches.
+    black_box(job.run());
+    for _ in 0..iters {
+        let started = Instant::now();
+        let (stats, loop_events) = job.run_counting();
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        events = loop_events;
+        sim_cycles = stats.total_cycles;
+        events_per_sec.push(loop_events as f64 / secs);
+        cycles_per_sec.push(stats.total_cycles as f64 / secs);
+        black_box(stats);
+    }
+    Measured {
+        config,
+        events,
+        sim_cycles,
+        events_per_sec,
+        cycles_per_sec,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: sim_hotpath [--smoke] [--iters N] [--ops N] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut iters: Option<usize> = None;
+    let mut ops: Option<usize> = None;
+    let mut out = "BENCH_sim.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--iters" => {
+                iters = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--ops" => {
+                ops = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let iters = iters.unwrap_or(if smoke { 1 } else { 7 }).max(1);
+    let ops = ops.unwrap_or(if smoke { 300 } else { 20_000 });
+
+    let workloads = [Workload::Fft, Workload::Radix, Workload::Ocean];
+    let processors = [4usize, 8, 16];
+    let modes = [SecurityMode::Baseline, SecurityMode::senss()];
+
+    eprintln!(
+        "sim_hotpath: {} configs x {iters} iteration(s), {ops} ops/core{}",
+        workloads.len() * processors.len() * modes.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut cells = Vec::new();
+    for &workload in &workloads {
+        for &procs in &processors {
+            for &mode in &modes {
+                let m = run_config(
+                    Config {
+                        workload,
+                        processors: procs,
+                        mode,
+                    },
+                    ops,
+                    iters,
+                );
+                println!(
+                    "{:<8} {:>2}P {:<10} {:>12.0} events/s (median of {iters}), {} events/run",
+                    m.config.workload.name(),
+                    m.config.processors,
+                    mode_tag(m.config.mode),
+                    percentile(&m.events_per_sec, 50.0),
+                    m.events,
+                );
+                cells.push(Value::Obj(vec![
+                    (
+                        "workload".to_string(),
+                        Value::Str(m.config.workload.name().to_string()),
+                    ),
+                    (
+                        "processors".to_string(),
+                        Value::UInt(m.config.processors as u64),
+                    ),
+                    (
+                        "mode".to_string(),
+                        Value::Str(mode_tag(m.config.mode).to_string()),
+                    ),
+                    ("events".to_string(), Value::UInt(m.events)),
+                    ("sim_cycles".to_string(), Value::UInt(m.sim_cycles)),
+                    ("events_per_sec".to_string(), summary(&m.events_per_sec)),
+                    ("cycles_per_sec".to_string(), summary(&m.cycles_per_sec)),
+                ]));
+            }
+        }
+    }
+
+    let doc = Value::Obj(vec![
+        (
+            "schema".to_string(),
+            Value::Str("senss.sim_hotpath.v1".to_string()),
+        ),
+        ("smoke".to_string(), Value::Bool(smoke)),
+        ("iterations".to_string(), Value::UInt(iters as u64)),
+        ("ops_per_core".to_string(), Value::UInt(ops as u64)),
+        ("configs".to_string(), Value::Arr(cells)),
+    ]);
+    std::fs::write(&out, doc.encode() + "\n").expect("write bench JSON");
+    eprintln!("sim_hotpath: wrote {out}");
+}

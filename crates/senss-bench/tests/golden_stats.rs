@@ -1,0 +1,127 @@
+//! Golden-record equivalence: the simulator's observable statistics are
+//! pinned byte-for-byte.
+//!
+//! One representative configuration per figure binary (all nine) runs at
+//! small scale and its full [`Stats`] — every counter plus the per-core
+//! vectors — is serialized with the harness run-record codec and
+//! compared against `tests/golden_stats.jsonl`. Any change to simulated
+//! timing, coherence behaviour, or the security layers shows up here as
+//! a byte diff, which is exactly the guarantee the hot-path rework rides
+//! on: an optimization must not move a single number.
+//!
+//! To re-pin after an *intentional* semantic change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p senss-bench --test golden_stats
+//! ```
+
+use senss_harness::record::{encode_spec, encode_stats};
+use senss_harness::{json::Value, JobSpec, SecurityMode, TraceSpec};
+use senss_sim::config::CoherenceProtocol;
+use senss_workloads::Workload;
+
+const OPS: usize = 2_000;
+
+/// One small-scale job per figure binary, covering every security mode,
+/// both coherence protocols, micro and workload traces, and 2–16 cores.
+fn figure_configs() -> Vec<(&'static str, JobSpec)> {
+    vec![
+        (
+            "fig06_slowdown",
+            JobSpec::new(Workload::Fft, 2, 1 << 20)
+                .with_mode(SecurityMode::senss())
+                .with_ops(OPS),
+        ),
+        (
+            "fig07_masks",
+            JobSpec::new(Workload::Radix, 4, 4 << 20)
+                .with_mode(SecurityMode::senss_masks(1))
+                .with_ops(OPS),
+        ),
+        (
+            "fig08_traffic",
+            JobSpec::new(Workload::Ocean, 4, 4 << 20).with_ops(OPS),
+        ),
+        (
+            "fig09_interval",
+            JobSpec::new(Workload::Lu, 4, 4 << 20)
+                .with_mode(SecurityMode::senss_interval(1))
+                .with_ops(OPS),
+        ),
+        (
+            "fig10_integrated",
+            JobSpec::new(Workload::Barnes, 4, 1 << 20)
+                .with_mode(SecurityMode::integrated())
+                .with_ops(OPS),
+        ),
+        (
+            "fig11_variability",
+            JobSpec::new(TraceSpec::FalseSharing, 2, 1 << 20)
+                .with_mode(SecurityMode::senss_interval(1))
+                .with_ops(OPS),
+        ),
+        (
+            "coherence_protocols",
+            JobSpec::new(Workload::Fft, 4, 1 << 20)
+                .with_coherence(CoherenceProtocol::WriteUpdate)
+                .with_mode(SecurityMode::senss_interval(1))
+                .with_ops(OPS),
+        ),
+        (
+            "hw_overhead",
+            JobSpec::new(Workload::Ocean, 4, 4 << 20)
+                .with_mode(SecurityMode::senss())
+                .with_ops(OPS),
+        ),
+        (
+            "scaling_study",
+            JobSpec::new(Workload::Ocean, 16, 4 << 20)
+                .with_mode(SecurityMode::senss())
+                .with_ops(OPS),
+        ),
+    ]
+}
+
+/// Runs one config and renders its canonical golden line.
+fn golden_line(name: &str, spec: &JobSpec) -> String {
+    let stats = spec.run();
+    let mut fields = vec![("figure".to_string(), Value::Str(name.to_string()))];
+    fields.extend(encode_spec(spec));
+    fields.push(("stats".to_string(), encode_stats(&stats)));
+    Value::Obj(fields).encode()
+}
+
+#[test]
+fn stats_match_golden_records_for_all_nine_figures() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_stats.jsonl");
+    let lines: Vec<String> = figure_configs()
+        .iter()
+        .map(|(name, spec)| golden_line(name, spec))
+        .collect();
+    let rendered = lines.join("\n") + "\n";
+
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(path, &rendered).expect("write golden fixture");
+        eprintln!("regenerated {path}");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(path)
+        .expect("golden fixture missing; regenerate with GOLDEN_REGEN=1");
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        golden_lines.len(),
+        lines.len(),
+        "fixture line count differs; regenerate with GOLDEN_REGEN=1 if intended"
+    );
+    for (got, want) in lines.iter().zip(&golden_lines) {
+        assert_eq!(
+            got.as_str(),
+            *want,
+            "simulated Stats diverged from the golden record — an \
+             optimization changed an observable statistic (or a semantic \
+             change needs GOLDEN_REGEN=1 to re-pin)"
+        );
+    }
+    assert_eq!(rendered, golden, "trailing content differs");
+}

@@ -69,6 +69,19 @@ impl Block {
         self.0
     }
 
+    /// Constant-time equality: compares all 16 bytes regardless of where
+    /// the first difference is, by accumulating byte XORs with
+    /// bitwise-OR. Tag and MAC verification must use this instead of
+    /// `==` (which short-circuits at the first mismatching byte and so
+    /// leaks the length of the matching prefix through timing).
+    pub fn ct_eq(&self, other: &Block) -> bool {
+        let mut acc = 0u8;
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            acc |= a ^ b;
+        }
+        acc == 0
+    }
+
     /// Returns the `m`-bit prefix of the block as a MAC value, per the
     /// paper's Equation (1) (`1 <= m <= 128`), packed into a block whose
     /// remaining bits are zero.
@@ -210,6 +223,20 @@ mod tests {
     #[should_panic(expected = "MAC width")]
     fn prefix_rejects_zero() {
         Block::ZERO.prefix_bits(0);
+    }
+
+    #[test]
+    fn ct_eq_matches_plain_equality() {
+        let a = Block::from([0xAB; 16]);
+        assert!(a.ct_eq(&Block::from([0xAB; 16])));
+        assert!(!a.ct_eq(&Block::ZERO));
+        // Differences anywhere in the block are caught — first byte,
+        // last byte, and a single flipped bit.
+        for i in [0usize, 7, 15] {
+            let mut bytes = [0xAB; 16];
+            bytes[i] ^= 0x01;
+            assert!(!a.ct_eq(&Block::from(bytes)), "difference at byte {i}");
+        }
     }
 
     #[test]

@@ -72,9 +72,9 @@ impl Cmac {
         self.aes.encrypt_block(state ^ last)
     }
 
-    /// Verifies a tag.
+    /// Verifies a tag (constant-time compare).
     pub fn verify(&self, msg: &[u8], tag: Block) -> bool {
-        self.tag(msg) == tag
+        self.tag(msg).ct_eq(&tag)
     }
 }
 

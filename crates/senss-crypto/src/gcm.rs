@@ -131,7 +131,7 @@ impl Gcm {
         let j0 = self.j0(iv);
         let s = ghash(self.h, aad, ciphertext);
         let expect = block_to_u128(self.aes.encrypt_block(u128_to_block(j0))) ^ s;
-        if u128_to_block(expect) != tag {
+        if !u128_to_block(expect).ct_eq(&tag) {
             return Err(CryptoError::TagMismatch);
         }
         Ok(self.ctr_xor(j0, ciphertext))
@@ -243,6 +243,24 @@ mod tests {
             gcm.decrypt(&iv, b"xxx", &ct, tag),
             Err(CryptoError::TagMismatch)
         );
+    }
+
+    #[test]
+    fn forged_tag_rejected_wherever_it_differs() {
+        // The constant-time compare must still reject tags that match the
+        // real one in every byte but the last (and but the first).
+        let gcm = Gcm::new(Aes::new_128(&[7; 16]));
+        let iv = [2u8; 12];
+        let (ct, tag) = gcm.encrypt(&iv, b"", b"payload");
+        for i in [0usize, 15] {
+            let mut forged = tag.into_bytes();
+            forged[i] ^= 0x80;
+            assert_eq!(
+                gcm.decrypt(&iv, b"", &ct, Block::from(forged)),
+                Err(CryptoError::TagMismatch),
+                "tag differing only at byte {i} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -123,9 +123,9 @@ impl UnchainedMac {
         self.aes.encrypt_block(self.iv ^ data).prefix_bits(m)
     }
 
-    /// Verifies a single message/tag pair.
+    /// Verifies a single message/tag pair (constant-time compare).
     pub fn verify(&self, data: Block, tag: Block, m: usize) -> bool {
-        self.tag(data, m) == tag
+        self.tag(data, m).ct_eq(&tag)
     }
 }
 

@@ -50,12 +50,26 @@ impl HarnessConfig {
     /// * `HARNESS_NO_CACHE` — any value disables the result cache;
     /// * cache lives under `results/cache/`, records under
     ///   `results/records/`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a message naming the variable if a set numeric
+    /// variable does not parse — a typo like `HARNESS_CYCLE_BUDGET=abc`
+    /// must not silently run the sweep with the budget dropped.
     pub fn from_env() -> HarnessConfig {
-        let env_usize = |key: &str| {
-            std::env::var(key)
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-        };
+        Self::from_lookup(|key| std::env::var(key).ok())
+    }
+
+    /// [`from_env`](HarnessConfig::from_env) with the variable lookup
+    /// injected, so tests can exercise parsing without racing on the
+    /// process environment.
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> HarnessConfig {
+        fn parsed<T: std::str::FromStr>(key: &str, value: &str) -> T {
+            value.parse().unwrap_or_else(|_| {
+                panic!("{key} must be a non-negative integer, got {value:?}")
+            })
+        }
+        let env_usize = |key: &str| lookup(key).map(|v| parsed::<usize>(key, &v));
         let workers = env_usize("HARNESS_WORKERS").unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -65,10 +79,9 @@ impl HarnessConfig {
             workers,
             max_attempts: 1 + env_usize("HARNESS_RETRIES").unwrap_or(2) as u32,
             backoff: Duration::from_millis(50),
-            cycle_budget: std::env::var("HARNESS_CYCLE_BUDGET")
-                .ok()
-                .and_then(|v| v.parse().ok()),
-            cache_dir: if std::env::var_os("HARNESS_NO_CACHE").is_some() {
+            cycle_budget: lookup("HARNESS_CYCLE_BUDGET")
+                .map(|v| parsed::<u64>("HARNESS_CYCLE_BUDGET", &v)),
+            cache_dir: if lookup("HARNESS_NO_CACHE").is_some() {
                 None
             } else {
                 Some(PathBuf::from("results/cache"))
@@ -550,5 +563,42 @@ mod tests {
         assert!(result.is_complete());
         assert_eq!(result.require(&sec).total_cycles, 11);
         assert!(result.stats(&base.with_seed(99)).is_none());
+    }
+    #[test]
+    fn from_lookup_parses_valid_values() {
+        let cfg = HarnessConfig::from_lookup(|key| match key {
+            "HARNESS_WORKERS" => Some("3".to_string()),
+            "HARNESS_RETRIES" => Some("0".to_string()),
+            "HARNESS_CYCLE_BUDGET" => Some("123456".to_string()),
+            _ => None,
+        });
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.max_attempts, 1);
+        assert_eq!(cfg.cycle_budget, Some(123_456));
+        assert!(cfg.cache_dir.is_some());
+
+        let no_cache = HarnessConfig::from_lookup(|key| {
+            (key == "HARNESS_NO_CACHE").then(|| "1".to_string())
+        });
+        assert_eq!(no_cache.cycle_budget, None);
+        assert!(no_cache.cache_dir.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "HARNESS_CYCLE_BUDGET")]
+    fn malformed_cycle_budget_fails_loudly() {
+        // Regression: `HARNESS_CYCLE_BUDGET=abc` used to parse to `None`,
+        // silently running the sweep with no budget at all.
+        HarnessConfig::from_lookup(|key| {
+            (key == "HARNESS_CYCLE_BUDGET").then(|| "abc".to_string())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "HARNESS_WORKERS")]
+    fn malformed_worker_count_fails_loudly() {
+        HarnessConfig::from_lookup(|key| {
+            (key == "HARNESS_WORKERS").then(|| "-2".to_string())
+        });
     }
 }

@@ -320,17 +320,29 @@ impl JobSpec {
     /// Panics on invalid configurations (e.g. a non-power-of-two L2);
     /// the executor isolates such panics per job.
     pub fn run(&self) -> Stats {
+        self.run_counting().0
+    }
+
+    /// Like [`run`](JobSpec::run), but also returns the number of events
+    /// the simulator's main loop dispatched — the denominator the
+    /// `sim_hotpath` micro-benchmark normalizes wall time by.
+    pub fn run_counting(&self) -> (Stats, u64) {
+        fn finish<E: senss_sim::Extension>(mut sys: System<E>) -> (Stats, u64) {
+            let stats = sys.run();
+            let events = sys.events_processed();
+            (stats, events)
+        }
         let cfg = self.system_config();
         let traces = self.traces();
         match self.mode {
-            SecurityMode::Baseline => System::new(cfg, traces, NullExtension).run(),
+            SecurityMode::Baseline => finish(System::new(cfg, traces, NullExtension)),
             SecurityMode::Senss {
                 masks,
                 auth_interval,
                 cipher,
             } => {
                 let ext = SenssExtension::new(self.senss_config(masks, auth_interval, cipher));
-                System::new(cfg, traces, ext).run()
+                finish(System::new(cfg, traces, ext))
             }
             SecurityMode::Integrated {
                 masks,
@@ -340,7 +352,7 @@ impl JobSpec {
                 let policy = MemProtPolicy::new(MemProtConfig::paper_default(self.cores));
                 let ext = SenssExtension::new(self.senss_config(masks, auth_interval, cipher))
                     .with_memory_protection(policy);
-                System::new(cfg, traces, ext).run()
+                finish(System::new(cfg, traces, ext))
             }
         }
     }

@@ -146,9 +146,16 @@ impl Metrics {
         self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
     }
 
-    /// Moves the queue-depth gauge after a pop.
+    /// Moves the queue-depth gauge after a pop. Saturates at zero: an
+    /// unmatched pop is a caller bug, but it must not wrap the gauge to
+    /// `u64::MAX` and poison the high-water mark through `fetch_max`.
     pub fn queue_popped(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let saturate = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+        debug_assert!(saturate.is_ok(), "fetch_update with Some never fails");
     }
 
     /// Snapshots every counter into a JSON object.
@@ -229,5 +236,20 @@ mod tests {
         assert_eq!(snap.get("queue_depth").unwrap().as_u64(), Some(1));
         assert_eq!(snap.get("queue_depth_max").unwrap().as_u64(), Some(2));
         assert_eq!(m.errors(ErrorClass::Overloaded), 2);
+    }
+
+    #[test]
+    fn unmatched_pop_saturates_instead_of_wrapping() {
+        let m = Metrics::new();
+        m.queue_pushed();
+        m.queue_popped();
+        // Regression: this unmatched pop used to wrap the gauge to
+        // u64::MAX, and the next push then froze the high-water mark there.
+        m.queue_popped();
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 0);
+        m.queue_pushed();
+        let snap = m.snapshot();
+        assert_eq!(snap.get("queue_depth").unwrap().as_u64(), Some(1));
+        assert_eq!(snap.get("queue_depth_max").unwrap().as_u64(), Some(1));
     }
 }

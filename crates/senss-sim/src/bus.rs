@@ -125,6 +125,11 @@ pub struct Arbiter {
     injected: VecDeque<BusRequest>,
     last_granted: usize,
     pending: usize,
+    /// Bit `pid` set iff `queues[pid]` is nonempty, so a grant finds the
+    /// next requester with two bit scans instead of probing every queue
+    /// (the per-event cost that dominates at high processor counts).
+    /// Word-indexed to support arbitrary processor counts.
+    nonempty: Vec<u64>,
 }
 
 impl Arbiter {
@@ -135,6 +140,32 @@ impl Arbiter {
             injected: VecDeque::new(),
             last_granted: 0,
             pending: 0,
+            nonempty: vec![0; num_processors.div_ceil(64).max(1)],
+        }
+    }
+
+    fn mark_nonempty(&mut self, pid: usize) {
+        self.nonempty[pid / 64] |= 1 << (pid % 64);
+    }
+
+    /// First pid with a nonempty queue at or after `start` (no wrap), or
+    /// `None` if every queue from `start` up is empty.
+    fn next_nonempty_from(&self, start: usize) -> Option<usize> {
+        let n = self.queues.len();
+        if start >= n {
+            return None;
+        }
+        let mut word = start / 64;
+        let mut bits = self.nonempty[word] & (u64::MAX << (start % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word >= self.nonempty.len() {
+                return None;
+            }
+            bits = self.nonempty[word];
         }
     }
 
@@ -145,6 +176,7 @@ impl Arbiter {
     /// Panics if `req.pid` is out of range.
     pub fn push(&mut self, req: BusRequest) {
         self.queues[req.pid].push_back(req);
+        self.mark_nonempty(req.pid);
         self.pending += 1;
     }
 
@@ -160,6 +192,7 @@ impl Arbiter {
     /// flight — the split-transaction NACK/retry path).
     pub fn push_front(&mut self, req: BusRequest) {
         self.queues[req.pid].push_front(req);
+        self.mark_nonempty(req.pid);
         self.pending += 1;
     }
 
@@ -181,15 +214,21 @@ impl Arbiter {
             return Some(req);
         }
         let n = self.queues.len();
-        for offset in 1..=n {
-            let pid = (self.last_granted + offset) % n;
-            if let Some(req) = self.queues[pid].pop_front() {
-                self.last_granted = pid;
-                self.pending -= 1;
-                return Some(req);
-            }
+        if n == 0 {
+            return None;
         }
-        None
+        let start = (self.last_granted + 1) % n;
+        let pid = match self.next_nonempty_from(start) {
+            Some(pid) => pid,
+            None => self.next_nonempty_from(0)?,
+        };
+        let req = self.queues[pid].pop_front().expect("bit set => nonempty");
+        if self.queues[pid].is_empty() {
+            self.nonempty[pid / 64] &= !(1 << (pid % 64));
+        }
+        self.last_granted = pid;
+        self.pending -= 1;
+        Some(req)
     }
 }
 

@@ -134,18 +134,19 @@ impl Stats {
     }
 
     /// Load imbalance: slowest core finish time over the mean (1.0 =
-    /// perfectly balanced). Zero when per-core data is absent.
+    /// perfectly balanced). Zero when per-core data is absent
+    /// (zero-processor or unmerged stats) or every core finished at 0 —
+    /// this must never panic, whatever state the stats are in.
     pub fn imbalance(&self) -> f64 {
-        if self.core_finish_times.is_empty() {
+        let Some(&max) = self.core_finish_times.iter().max() else {
             return 0.0;
-        }
-        let max = *self.core_finish_times.iter().max().expect("non-empty") as f64;
+        };
         let mean = self.core_finish_times.iter().sum::<u64>() as f64
             / self.core_finish_times.len() as f64;
         if mean == 0.0 {
             return 0.0;
         }
-        max / mean
+        max as f64 / mean
     }
 
     /// Accumulates `other` into `self`: counters add, `total_cycles`
@@ -257,7 +258,19 @@ mod tests {
             ..Stats::default()
         };
         assert!((s.imbalance() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_is_zero_for_empty_or_trivial_finish_times() {
+        // Unmerged / zero-processor stats: no per-core data at all.
         assert_eq!(Stats::default().imbalance(), 0.0);
+        // All cores finished at cycle 0 (empty traces): zero mean must
+        // yield 0.0, not NaN or a panic.
+        let s = Stats {
+            core_finish_times: vec![0, 0],
+            ..Stats::default()
+        };
+        assert_eq!(s.imbalance(), 0.0);
     }
 
     #[test]

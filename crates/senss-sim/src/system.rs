@@ -23,8 +23,7 @@
 //! bus cycle. The security [`Extension`] adds its overheads at the hook
 //! points described in [`crate::extension`].
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::bus::{Arbiter, BusRequest, Supplier, Transaction, TxnKind};
 use crate::cache::SetAssocCache;
@@ -49,7 +48,7 @@ enum Event {
 }
 
 /// What a completed transaction was for.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Purpose {
     /// A core's line fill (Read / ReadExclusive).
     CoreFill {
@@ -87,7 +86,32 @@ struct ChainWalk {
     blocking: bool,
 }
 
+/// One live transaction, from bus request to completion, in the token
+/// slab. The purpose is known at request time; the granted transaction
+/// is filled in at grant, so `TxnDone` is a single indexed load.
+#[derive(Debug, Clone, Copy)]
+struct TxnSlot {
+    purpose: Purpose,
+    /// `None` while the request waits in the arbiter.
+    txn: Option<Transaction>,
+}
+
 /// The simulated SMP system, parameterized by a security [`Extension`].
+///
+/// # Hot-path data layout
+///
+/// The event loop is the whole-repo hot path (every figure is thousands
+/// of [`System::run`] calls), so its bookkeeping avoids hashing and
+/// per-transaction allocation — see `docs/perf.md` for the design and
+/// the `sim_hotpath` numbers backing it:
+///
+/// * transactions live in a free-list slab indexed by the (recycled)
+///   token carried in every [`BusRequest`],
+/// * resolution chains use the same slab pattern and recycle their step
+///   buffers through a spare pool,
+/// * in-flight line tracking is a linear-scanned vec (never more than a
+///   handful of entries at once),
+/// * the event queue key packs `(time, seq)` into one `u128` compare.
 pub struct System<E> {
     cfg: SystemConfig,
     cores: Vec<Core>,
@@ -96,35 +120,60 @@ pub struct System<E> {
     arbiter: Arbiter,
     ext: E,
     stats: Stats,
-    events: BinaryHeap<Reverse<(u64, u64, EventSlot)>>,
+    events: BinaryHeap<EventKey>,
     seq: u64,
     bus_next_free: u64,
     grant_scheduled: bool,
-    purposes: HashMap<u64, Purpose>,
-    txn_for_completion: HashMap<u64, Transaction>,
-    /// Lines with a blocking fill/upgrade in flight: addr -> completion
-    /// cycle. Conflicting grants are deferred until then (split-
+    /// Token slab: every in-flight transaction, indexed by its token.
+    slots: Vec<Option<TxnSlot>>,
+    /// Recycled slab indices; a token is freed when its `TxnDone` fires
+    /// (each granted token gets exactly one), so reuse can never collide
+    /// with a pending completion.
+    free_tokens: Vec<u64>,
+    /// Lines with a blocking fill/upgrade in flight: (addr, completion
+    /// cycle). Conflicting grants are deferred until then (split-
     /// transaction NACK/retry), preventing in-flight line stealing.
-    inflight_lines: HashMap<u64, u64>,
-    chains: HashMap<u64, ChainWalk>,
-    next_token: u64,
-    next_chain: u64,
+    /// Bounded by the number of simultaneously stalled requesters, so a
+    /// linear scan beats a hash map.
+    inflight_lines: Vec<(u64, u64)>,
+    /// Chain slab, indexed by chain id, free-listed like the tokens.
+    chains: Vec<Option<ChainWalk>>,
+    free_chains: Vec<u64>,
+    /// Retired chain step buffers, kept to reuse their capacity.
+    spare_steps: Vec<VecDeque<Step>>,
+    /// Scratch for NACKed grant candidates, reused across grants.
+    deferred_scratch: Vec<BusRequest>,
+    events_processed: u64,
 }
 
-/// Wrapper giving `Event` a total order for the heap (order is irrelevant
-/// beyond the `(time, seq)` key, but the heap requires `Ord`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct EventSlot(Event);
+/// Event-queue entry. `key` packs `(time << 64) | seq` so heap sift
+/// compares are one `u128` compare instead of a tuple walk; comparison is
+/// reversed to turn `BinaryHeap`'s max-heap into the min-queue the
+/// simulation needs. `seq` is unique per entry, so keys never tie and
+/// the order is exactly the old `(time, seq)` order.
+#[derive(Debug, Clone, Copy)]
+struct EventKey {
+    key: u128,
+    ev: Event,
+}
 
-impl PartialOrd for EventSlot {
+impl PartialEq for EventKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for EventKey {}
+
+impl PartialOrd for EventKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for EventSlot {
-    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key.cmp(&self.key)
     }
 }
 
@@ -175,12 +224,14 @@ impl<E: Extension> System<E> {
             seq: 0,
             bus_next_free: 0,
             grant_scheduled: false,
-            purposes: HashMap::new(),
-            txn_for_completion: HashMap::new(),
-            inflight_lines: HashMap::new(),
-            chains: HashMap::new(),
-            next_token: 1,
-            next_chain: 1,
+            slots: Vec::new(),
+            free_tokens: Vec::new(),
+            inflight_lines: Vec::new(),
+            chains: Vec::new(),
+            free_chains: Vec::new(),
+            spare_steps: Vec::new(),
+            deferred_scratch: Vec::new(),
+            events_processed: 0,
             cfg,
         };
         for pid in 0..n {
@@ -213,19 +264,52 @@ impl<E: Extension> System<E> {
 
     fn schedule(&mut self, time: u64, ev: Event) {
         self.seq += 1;
-        self.events.push(Reverse((time, self.seq, EventSlot(ev))));
+        self.events.push(EventKey {
+            key: ((time as u128) << 64) | self.seq as u128,
+            ev,
+        });
     }
 
     fn token(&mut self, purpose: Purpose) -> u64 {
-        let t = self.next_token;
-        self.next_token += 1;
-        self.purposes.insert(t, purpose);
-        t
+        let slot = Some(TxnSlot { purpose, txn: None });
+        match self.free_tokens.pop() {
+            Some(t) => {
+                self.slots[t as usize] = slot;
+                t
+            }
+            None => {
+                self.slots.push(slot);
+                (self.slots.len() - 1) as u64
+            }
+        }
+    }
+
+    /// A cleared chain-step buffer, reusing a retired chain's capacity
+    /// when one is available.
+    fn take_steps_buf(&mut self) -> VecDeque<Step> {
+        self.spare_steps.pop().unwrap_or_default()
+    }
+
+    fn recycle_steps(&mut self, mut buf: VecDeque<Step>) {
+        buf.clear();
+        if self.spare_steps.len() < 64 {
+            self.spare_steps.push(buf);
+        }
+    }
+
+    /// Number of events the main loop has dispatched so far. Not part of
+    /// [`Stats`] (it is a property of the simulator, not of the simulated
+    /// machine); the `sim_hotpath` micro-benchmark divides it by wall
+    /// time to report events/sec.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Runs to completion and returns the final statistics.
     pub fn run(&mut self) -> Stats {
-        while let Some(Reverse((time, _, EventSlot(ev)))) = self.events.pop() {
+        while let Some(EventKey { key, ev }) = self.events.pop() {
+            let time = (key >> 64) as u64;
+            self.events_processed += 1;
             match ev {
                 Event::CoreStep(pid) => self.core_step(pid, time),
                 Event::BusGrant => self.bus_grant(time),
@@ -428,7 +512,7 @@ impl<E: Extension> System<E> {
         // Pick the first grantable request, deferring any whose line has a
         // fill in flight (the bus NACKs it; the requester retries).
         let pending = self.arbiter.pending();
-        let mut deferred: Vec<BusRequest> = Vec::new();
+        let mut deferred = std::mem::take(&mut self.deferred_scratch);
         let mut granted = None;
         for _ in 0..pending {
             let Some(candidate) = self.arbiter.grant() else {
@@ -439,8 +523,8 @@ impl<E: Extension> System<E> {
                 TxnKind::Read | TxnKind::ReadExclusive | TxnKind::Upgrade | TxnKind::HashFetch
             ) && self
                 .inflight_lines
-                .get(&candidate.addr)
-                .is_some_and(|&done| done > now);
+                .iter()
+                .any(|&(a, done)| a == candidate.addr && done > now);
             if conflicts {
                 deferred.push(candidate);
             } else {
@@ -448,9 +532,10 @@ impl<E: Extension> System<E> {
                 break;
             }
         }
-        for d in deferred.into_iter().rev() {
+        for d in deferred.drain(..).rev() {
             self.arbiter.push_front(d);
         }
+        self.deferred_scratch = deferred;
         let Some(req) = granted else {
             // Everything queued conflicts with an in-flight fill: retry
             // when the earliest one completes.
@@ -459,8 +544,8 @@ impl<E: Extension> System<E> {
             } else {
                 let retry_at = self
                     .inflight_lines
-                    .values()
-                    .copied()
+                    .iter()
+                    .map(|&(_, done)| done)
                     .filter(|&t| t > now)
                     .min()
                     .unwrap_or(now + self.cfg.bus_cycle);
@@ -566,10 +651,15 @@ impl<E: Extension> System<E> {
             _ => 8,
         };
 
-        // Record the resolved supplier for completion handling.
-        if let Some(Purpose::CoreFill { supplier, .. }) = self.purposes.get_mut(&req.token) {
+        // Record the resolved supplier and the granted transaction for
+        // completion handling — one slab slot holds both.
+        let slot = self.slots[req.token as usize]
+            .as_mut()
+            .expect("granted token is live");
+        if let Purpose::CoreFill { supplier, .. } = &mut slot.purpose {
             *supplier = txn.supplier;
         }
+        slot.txn = Some(txn);
 
         if req.blocking
             && matches!(
@@ -577,10 +667,12 @@ impl<E: Extension> System<E> {
                 TxnKind::Read | TxnKind::ReadExclusive | TxnKind::Upgrade | TxnKind::HashFetch
             )
         {
-            self.inflight_lines.insert(req.addr, completion);
+            match self.inflight_lines.iter_mut().find(|e| e.0 == req.addr) {
+                Some(entry) => entry.1 = completion,
+                None => self.inflight_lines.push((req.addr, completion)),
+            }
         }
         self.schedule(completion, Event::TxnDone(req.token));
-        self.txn_for_completion.insert(req.token, txn);
 
         if self.arbiter.is_empty() {
             self.grant_scheduled = false;
@@ -663,7 +755,9 @@ impl<E: Extension> System<E> {
                 // Hash-tree maintenance for the written-back line.
                 let chain = self.ext.writeback_chain(pid, victim_addr);
                 if !chain.is_empty() {
-                    self.start_chain(pid, chain_to_update_steps(&chain), false, self.bus_next_free);
+                    let mut steps = self.take_steps_buf();
+                    chain_to_update_steps(&chain, &mut steps);
+                    self.start_chain(pid, steps, false, self.bus_next_free);
                 }
             }
         }
@@ -707,14 +801,20 @@ impl<E: Extension> System<E> {
     // ------------------------------------------------------------------
 
     fn txn_done(&mut self, token: u64, now: u64) {
-        let txn = self
-            .txn_for_completion
-            .remove(&token)
+        let slot = self.slots[token as usize]
+            .take()
             .expect("completion for a granted transaction");
+        self.free_tokens.push(token);
+        let txn = slot.txn.expect("completed transaction was granted");
+        let purpose = slot.purpose;
         // The line's data has arrived; conflicting requests may proceed.
-        if let Some(&done) = self.inflight_lines.get(&txn.request.addr) {
-            if done <= now {
-                self.inflight_lines.remove(&txn.request.addr);
+        if let Some(i) = self
+            .inflight_lines
+            .iter()
+            .position(|&(a, _)| a == txn.request.addr)
+        {
+            if self.inflight_lines[i].1 <= now {
+                self.inflight_lines.swap_remove(i);
             }
         }
         // Let the extension observe the completed transaction.
@@ -752,10 +852,6 @@ impl<E: Extension> System<E> {
             }
         }
 
-        let purpose = self
-            .purposes
-            .remove(&token)
-            .expect("purpose for a granted transaction");
         match purpose {
             Purpose::CoreFill {
                 pid,
@@ -798,7 +894,7 @@ impl<E: Extension> System<E> {
                 let l1_addr = self.l1[pid].line_addr(op.addr);
                 self.fill_l1(pid, l1_addr, op.kind == AccessKind::Write);
                 // Memory fills may need pad + integrity resolution.
-                let mut steps = VecDeque::new();
+                let mut steps = self.take_steps_buf();
                 if supplier == Supplier::Memory {
                     if self.ext.pad_request_needed(pid, addr) {
                         steps.push_back(Step::PadRequest(addr));
@@ -808,6 +904,7 @@ impl<E: Extension> System<E> {
                     }
                 }
                 if steps.is_empty() {
+                    self.recycle_steps(steps);
                     self.finish_op(pid, now);
                 } else {
                     self.start_chain(pid, steps, true, now);
@@ -887,16 +984,21 @@ impl<E: Extension> System<E> {
     // ------------------------------------------------------------------
 
     fn start_chain(&mut self, pid: usize, steps: VecDeque<Step>, blocking: bool, now: u64) {
-        let id = self.next_chain;
-        self.next_chain += 1;
-        self.chains.insert(
-            id,
-            ChainWalk {
-                pid,
-                steps,
-                blocking,
-            },
-        );
+        let chain = Some(ChainWalk {
+            pid,
+            steps,
+            blocking,
+        });
+        let id = match self.free_chains.pop() {
+            Some(id) => {
+                self.chains[id as usize] = chain;
+                id
+            }
+            None => {
+                self.chains.push(chain);
+                (self.chains.len() - 1) as u64
+            }
+        };
         self.continue_chain(id, now, false);
     }
 
@@ -905,7 +1007,7 @@ impl<E: Extension> System<E> {
     /// consumed.
     fn continue_chain(&mut self, id: u64, now: u64, step_completed: bool) {
         let mut t = now;
-        let Some(mut chain) = self.chains.remove(&id) else {
+        let Some(mut chain) = self.chains.get_mut(id as usize).and_then(Option::take) else {
             return;
         };
         if step_completed {
@@ -946,7 +1048,7 @@ impl<E: Extension> System<E> {
                         token,
                     };
                     self.push_request(req, t, false);
-                    self.chains.insert(id, chain);
+                    self.chains[id as usize] = Some(chain);
                     return;
                 }
                 Step::PadRequest(addr) => {
@@ -959,7 +1061,7 @@ impl<E: Extension> System<E> {
                         token,
                     };
                     self.push_request(req, t, false);
-                    self.chains.insert(id, chain);
+                    self.chains[id as usize] = Some(chain);
                     return;
                 }
                 Step::MarkHashDirty(addr) => {
@@ -988,22 +1090,23 @@ impl<E: Extension> System<E> {
                 }
             }
         }
-        // Chain exhausted.
+        // Chain exhausted: free the id and keep the buffer for reuse.
         if chain.blocking {
             self.finish_op(chain.pid, t);
         }
+        self.recycle_steps(chain.steps);
+        self.free_chains.push(id);
     }
 }
 
 /// Builds the step sequence for a §6.2 hash-tree *update* after a
-/// write-back: verify ancestors bottom-up until one is already resident,
-/// then dirty the parent.
-fn chain_to_update_steps(chain: &[u64]) -> VecDeque<Step> {
-    let mut steps: VecDeque<Step> = chain.iter().map(|&a| Step::HashCheck(a)).collect();
+/// write-back into `steps`: verify ancestors bottom-up until one is
+/// already resident, then dirty the parent.
+fn chain_to_update_steps(chain: &[u64], steps: &mut VecDeque<Step>) {
+    steps.extend(chain.iter().map(|&a| Step::HashCheck(a)));
     if let Some(&parent) = chain.first() {
         steps.push_back(Step::MarkHashDirty(parent));
     }
-    steps
 }
 
 /// Victim classification: hash lines live in a disjoint address region by

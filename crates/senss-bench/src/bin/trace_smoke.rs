@@ -1,0 +1,134 @@
+//! CI smoke test for the tracing layer: run one fft 4-processor
+//! SENSS-CBC job with live sinks, write both trace artifacts, and
+//! validate them against the run's `Stats`.
+//!
+//! ```text
+//! trace_smoke [--out-dir DIR] [--ops N]
+//! ```
+//!
+//! Writes `DIR/trace.jsonl` (streamed through [`JsonlSink`]) and
+//! `DIR/trace.trace.json` (Chrome `trace_event` export of a ring-traced
+//! re-run of the same job). Exits nonzero if any of the tie-out checks
+//! fail, so CI catches a trace layer that drifts from the simulator:
+//!
+//! - both traced runs reproduce the untraced `Stats` bit-for-bit;
+//! - the streamed JSONL has exactly as many lines as the ring holds;
+//! - per-kind transaction counts folded from the trace match the
+//!   `Stats` counters, and summed `BusGrant::busy` matches
+//!   `Stats::bus_busy_cycles`.
+
+use senss_harness::{JobSpec, SecurityMode};
+use senss_sim::Stats;
+use senss_trace::{chrome_trace, fold, JsonlSink, RingSink, TxnClass};
+use senss_workloads::Workload;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: trace_smoke [--out-dir DIR] [--ops N]");
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("trace_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn stats_txn_count(stats: &Stats, class: TxnClass) -> u64 {
+    match class {
+        TxnClass::Read => stats.txn_read,
+        TxnClass::ReadExclusive => stats.txn_read_exclusive,
+        TxnClass::Upgrade => stats.txn_upgrade,
+        TxnClass::Update => stats.txn_update,
+        TxnClass::Writeback => stats.txn_writeback,
+        TxnClass::HashFetch => stats.txn_hash_fetch,
+        TxnClass::HashWriteback => stats.txn_hash_writeback,
+        TxnClass::Auth => stats.txn_auth,
+        TxnClass::PadInvalidate => stats.txn_pad_invalidate,
+        TxnClass::PadRequest => stats.txn_pad_request,
+    }
+}
+
+fn main() {
+    let mut out_dir = PathBuf::from("results/traces");
+    let mut ops = 2_000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out-dir" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--ops" => {
+                ops = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| fail(format_args!("cannot create {}: {e}", out_dir.display())));
+
+    let job = JobSpec::new(Workload::Fft, 4, 1 << 20)
+        .with_mode(SecurityMode::senss())
+        .with_ops(ops);
+    let reference = job.run();
+
+    // Streamed artifact: every event through the JSONL sink.
+    let jsonl_path = out_dir.join("trace.jsonl");
+    let sink = JsonlSink::create(&jsonl_path)
+        .unwrap_or_else(|e| fail(format_args!("cannot create {}: {e}", jsonl_path.display())));
+    let (stats, sink) = job.run_with_sink(sink);
+    let written = sink.written();
+    if let Err(e) = sink.finish() {
+        fail(format_args!("jsonl stream failed: {e}"));
+    }
+    if stats != reference {
+        fail("jsonl-traced run diverged from the untraced run");
+    }
+
+    // In-memory re-run: chrome export plus the fold tie-out.
+    let (ring_stats, ring) = job.run_with_sink(RingSink::new());
+    if ring_stats != reference {
+        fail("ring-traced run diverged from the untraced run");
+    }
+    if ring.dropped() > 0 {
+        fail(format_args!("ring dropped {} events", ring.dropped()));
+    }
+    if written != ring.len() as u64 {
+        fail(format_args!(
+            "jsonl wrote {written} events but the ring holds {}",
+            ring.len()
+        ));
+    }
+    let chrome_path = out_dir.join("trace.trace.json");
+    std::fs::write(&chrome_path, chrome_trace(ring.events()))
+        .unwrap_or_else(|e| fail(format_args!("cannot write {}: {e}", chrome_path.display())));
+
+    let derived = fold(ring.events(), 1 << 14);
+    for class in TxnClass::ALL {
+        let (traced, counted) = (
+            derived.txn_counts[class.index()],
+            stats_txn_count(&reference, class),
+        );
+        if traced != counted {
+            fail(format_args!(
+                "{} count mismatch: trace says {traced}, Stats says {counted}",
+                class.name()
+            ));
+        }
+    }
+    if derived.bus_busy_cycles != reference.bus_busy_cycles {
+        fail(format_args!(
+            "bus occupancy mismatch: trace says {}, Stats says {}",
+            derived.bus_busy_cycles, reference.bus_busy_cycles
+        ));
+    }
+    if derived.total_transactions() == 0 {
+        fail("trace contains no transactions");
+    }
+
+    eprintln!(
+        "trace_smoke: OK — {written} events, {} transactions, artifacts in {}",
+        derived.total_transactions(),
+        out_dir.display()
+    );
+}

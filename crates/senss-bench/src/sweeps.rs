@@ -96,6 +96,7 @@ fn execute_remote(sweep: &SweepSpec, addr: &str) -> SweepResult {
             worker: None,
             attempts: 0,
             cached: false,
+            trace_artifact: None,
         })
         .collect();
     let result = SweepResult::from_records(&sweep.name, records, 0, started.elapsed());

@@ -36,6 +36,9 @@ pub struct HarnessConfig {
     pub cache_dir: Option<PathBuf>,
     /// Where run-record JSONL files are written (`None` disables).
     pub records_dir: Option<PathBuf>,
+    /// Where trace artifacts of captured jobs are written (`None`
+    /// disables capture even for jobs that request it).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl HarnessConfig {
@@ -87,6 +90,7 @@ impl HarnessConfig {
                 Some(PathBuf::from("results/cache"))
             },
             records_dir: Some(PathBuf::from("results/records")),
+            trace_dir: Some(PathBuf::from("results/traces")),
         }
     }
 
@@ -100,6 +104,7 @@ impl HarnessConfig {
             cycle_budget: None,
             cache_dir: None,
             records_dir: None,
+            trace_dir: None,
         }
     }
 
@@ -136,6 +141,12 @@ impl HarnessConfig {
     /// Sets the records directory.
     pub fn with_records_dir(mut self, dir: impl Into<PathBuf>) -> HarnessConfig {
         self.records_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the trace-artifact directory.
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> HarnessConfig {
+        self.trace_dir = Some(dir.into());
         self
     }
 }
@@ -297,6 +308,7 @@ enum WorkerMsg {
         wall_micros: u64,
         worker: usize,
         attempts: u32,
+        trace_artifact: Option<String>,
     },
     Failed(JobFailure),
 }
@@ -320,16 +332,31 @@ impl Harness {
     }
 
     /// Runs the sweep with the production runner ([`JobSpec::run`]).
+    /// Jobs whose spec requests a [`TraceCapture`](crate::spec::TraceCapture)
+    /// additionally write a trace artifact under
+    /// [`HarnessConfig::trace_dir`] (named by cache key), recorded in
+    /// their [`RunRecord::trace_artifact`].
     pub fn run(&self, sweep: &SweepSpec) -> std::io::Result<SweepResult> {
-        self.run_with(sweep, JobSpec::run)
+        let trace_dir = self.cfg.trace_dir.clone();
+        self.run_rich(sweep, move |spec| match (spec.capture, &trace_dir) {
+            (Some(capture), Some(dir)) => capture_run(spec, capture, dir),
+            _ => (spec.run(), None),
+        })
     }
 
     /// Runs the sweep with a caller-supplied job runner. Used by the
     /// fault-injection tests; the runner must be deterministic for the
-    /// cache to be meaningful.
+    /// cache to be meaningful. Custom runners never capture traces.
     pub fn run_with<F>(&self, sweep: &SweepSpec, runner: F) -> std::io::Result<SweepResult>
     where
         F: Fn(&JobSpec) -> Stats + Sync,
+    {
+        self.run_rich(sweep, |spec| (runner(spec), None))
+    }
+
+    fn run_rich<F>(&self, sweep: &SweepSpec, runner: F) -> std::io::Result<SweepResult>
+    where
+        F: Fn(&JobSpec) -> (Stats, Option<String>) + Sync,
     {
         let started = Instant::now();
         let mut cache = match &self.cfg.cache_dir {
@@ -353,7 +380,13 @@ impl Harness {
         let mut slots: Vec<Option<RunRecord>> = Vec::with_capacity(sweep.jobs.len());
         let mut pending: VecDeque<usize> = VecDeque::new();
         for (index, spec) in sweep.jobs.iter().enumerate() {
-            match cache.as_ref().and_then(|c| c.get(&keys[index])) {
+            // A cache hit would skip the simulation and produce no
+            // artifact, so jobs that can capture always execute.
+            let wants_artifact = spec.capture.is_some() && self.cfg.trace_dir.is_some();
+            let hit = (!wants_artifact)
+                .then(|| cache.as_ref().and_then(|c| c.get(&keys[index])))
+                .flatten();
+            match hit {
                 Some(stats) => slots.push(Some(RunRecord {
                     index,
                     spec: *spec,
@@ -363,6 +396,7 @@ impl Harness {
                     worker: None,
                     attempts: 0,
                     cached: true,
+                    trace_artifact: None,
                 })),
                 None => {
                     slots.push(None);
@@ -387,7 +421,15 @@ impl Harness {
                     let queue = &queue;
                     scope.spawn(move || {
                         loop {
-                            let index = match queue.lock().expect("queue poisoned").pop_front() {
+                            // Recover the queue even if a sibling worker
+                        // panicked while holding the lock: the indices
+                        // inside are still sound, and abandoning them
+                        // would silently truncate the sweep.
+                        let index = match queue
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .pop_front()
+                        {
                                 Some(i) => i,
                                 None => break,
                             };
@@ -409,6 +451,7 @@ impl Harness {
                             wall_micros,
                             worker,
                             attempts,
+                            trace_artifact,
                         } => {
                             if let Some(c) = cache.as_mut() {
                                 // Append errors are demoted to warnings:
@@ -426,6 +469,7 @@ impl Harness {
                                 worker: Some(worker),
                                 attempts,
                                 cached: false,
+                                trace_artifact,
                             });
                         }
                         WorkerMsg::Failed(failure) => failures.push(failure),
@@ -471,6 +515,60 @@ impl Harness {
     }
 }
 
+/// Runs a captured job, writing its trace artifact under `dir`.
+///
+/// Artifact I/O failures are demoted to warnings — losing a trace file
+/// never loses a run — and surface as a `None` artifact path.
+fn capture_run(
+    spec: &JobSpec,
+    capture: crate::spec::TraceCapture,
+    dir: &std::path::Path,
+) -> (Stats, Option<String>) {
+    use crate::spec::TraceCapture;
+    use senss_trace::{chrome_trace, JsonlSink, RingSink};
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("harness: cannot create trace dir {}: {e}", dir.display());
+        return (spec.run(), None);
+    }
+    let path = dir.join(format!("{}.{}", spec.cache_key(), capture.extension()));
+    match capture {
+        TraceCapture::Jsonl => {
+            let sink = match JsonlSink::create(&path) {
+                Ok(sink) => sink,
+                Err(e) => {
+                    eprintln!("harness: cannot open {}: {e}", path.display());
+                    return (spec.run(), None);
+                }
+            };
+            let (stats, sink) = spec.run_with_sink(sink);
+            match sink.finish() {
+                Ok(_) => (stats, Some(path.display().to_string())),
+                Err(e) => {
+                    eprintln!("harness: trace write to {} failed: {e}", path.display());
+                    (stats, None)
+                }
+            }
+        }
+        TraceCapture::Chrome => {
+            let (stats, sink) = spec.run_with_sink(RingSink::new());
+            if sink.dropped() > 0 {
+                eprintln!(
+                    "harness: ring capacity exceeded for {}; dropped {} oldest event(s)",
+                    path.display(),
+                    sink.dropped()
+                );
+            }
+            match std::fs::write(&path, chrome_trace(sink.events())) {
+                Ok(()) => (stats, Some(path.display().to_string())),
+                Err(e) => {
+                    eprintln!("harness: trace write to {} failed: {e}", path.display());
+                    (stats, None)
+                }
+            }
+        }
+    }
+}
+
 fn run_one<F>(
     cfg: &HarnessConfig,
     runner: &F,
@@ -479,7 +577,7 @@ fn run_one<F>(
     worker: usize,
 ) -> WorkerMsg
 where
-    F: Fn(&JobSpec) -> Stats + Sync,
+    F: Fn(&JobSpec) -> (Stats, Option<String>) + Sync,
 {
     let started = Instant::now();
     let mut attempts = 0u32;
@@ -487,7 +585,7 @@ where
         attempts += 1;
         let outcome = catch_unwind(AssertUnwindSafe(|| runner(spec)));
         let error = match outcome {
-            Ok(stats) => match cfg.cycle_budget {
+            Ok((stats, trace_artifact)) => match cfg.cycle_budget {
                 Some(budget) if stats.total_cycles > budget => JobError::CycleBudgetExceeded {
                     cycles: stats.total_cycles,
                     budget,
@@ -499,6 +597,7 @@ where
                         wall_micros: started.elapsed().as_micros() as u64,
                         worker,
                         attempts,
+                        trace_artifact,
                     }
                 }
             },
@@ -549,6 +648,7 @@ mod tests {
             worker: None,
             attempts: 0,
             cached,
+            trace_artifact: None,
         };
         // Out of order on purpose: from_records must re-sort by index.
         let result = SweepResult::from_records(

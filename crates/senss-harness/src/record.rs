@@ -91,7 +91,7 @@ pub fn decode_stats(obj: &Value) -> Option<Stats> {
 /// Encodes every [`JobSpec`] field as flat JSON object fields, the
 /// layout shared by run-record lines and the `senss-serve` wire format.
 pub fn encode_spec(spec: &JobSpec) -> Vec<(String, Value)> {
-    vec![
+    let mut fields = vec![
         ("trace".into(), Value::Str(spec.trace.tag().to_string())),
         ("cores".into(), Value::UInt(spec.cores as u64)),
         ("l2_bytes".into(), Value::UInt(spec.l2_bytes as u64)),
@@ -102,7 +102,16 @@ pub fn encode_spec(spec: &JobSpec) -> Vec<(String, Value)> {
         ("mode".into(), Value::Str(spec.mode.tag())),
         ("ops_per_core".into(), Value::UInt(spec.ops_per_core as u64)),
         ("seed".into(), Value::UInt(spec.seed)),
-    ]
+    ];
+    // Emitted only when set, so record lines and wire frames for
+    // uncaptured jobs are byte-identical to the pre-capture format.
+    if let Some(capture) = spec.capture {
+        fields.push((
+            "trace_capture".into(),
+            Value::Str(capture.tag().to_string()),
+        ));
+    }
+    fields
 }
 
 /// Decodes a [`JobSpec`] from an object carrying the
@@ -118,6 +127,12 @@ pub fn decode_spec(obj: &Value) -> Option<JobSpec> {
         mode: crate::spec::SecurityMode::from_tag(obj.get("mode")?.as_str()?)?,
         ops_per_core: uint("ops_per_core")? as usize,
         seed: uint("seed")?,
+        // Optional-strict: absent means no capture, but a present field
+        // with an unknown tag is a malformed frame.
+        capture: match obj.get("trace_capture") {
+            None => None,
+            Some(v) => Some(crate::spec::TraceCapture::from_tag(v.as_str()?)?),
+        },
     })
 }
 
@@ -141,6 +156,9 @@ pub struct RunRecord {
     pub attempts: u32,
     /// Whether the result was served from the cache.
     pub cached: bool,
+    /// Path of the trace artifact this run wrote, when the spec asked
+    /// for capture and the executor had a trace directory.
+    pub trace_artifact: Option<String>,
 }
 
 impl RunRecord {
@@ -162,8 +180,11 @@ impl RunRecord {
             ),
             ("attempts".to_string(), Value::UInt(self.attempts as u64)),
             ("cached".to_string(), Value::Bool(self.cached)),
-            ("stats".to_string(), encode_stats(&self.stats)),
         ]);
+        if let Some(path) = &self.trace_artifact {
+            fields.push(("trace_artifact".to_string(), Value::Str(path.clone())));
+        }
+        fields.push(("stats".to_string(), encode_stats(&self.stats)));
         Value::Obj(fields).encode()
     }
 
@@ -179,6 +200,10 @@ impl RunRecord {
             worker: obj.get("worker")?.as_u64().map(|w| w as usize),
             attempts: obj.get("attempts")?.as_u64()? as u32,
             cached: matches!(obj.get("cached")?, Value::Bool(true)),
+            trace_artifact: match obj.get("trace_artifact") {
+                None => None,
+                Some(v) => Some(v.as_str()?.to_string()),
+            },
         })
     }
 }
@@ -254,6 +279,7 @@ mod tests {
             worker: Some(1),
             attempts: 1,
             cached: false,
+            trace_artifact: None,
         };
         let parsed = json::parse(&rec.encode()).unwrap();
         assert_eq!(parsed.get("index").unwrap().as_u64(), Some(3));
@@ -287,11 +313,38 @@ mod tests {
                 worker,
                 attempts: 2,
                 cached: worker.is_none(),
+                trace_artifact: worker.map(|_| "results/traces/x.jsonl".to_string()),
             };
             let parsed = json::parse(&rec.encode()).unwrap();
             assert_eq!(RunRecord::decode(&parsed), Some(rec.clone()));
         }
         // A record with a missing field is rejected, not mis-decoded.
         assert_eq!(RunRecord::decode(&json::parse("{}").unwrap()), None);
+    }
+
+    #[test]
+    fn capture_field_is_optional_and_strict() {
+        use crate::spec::TraceCapture;
+        let plain = JobSpec::new(Workload::Fft, 2, 1 << 20);
+        let encoded = Value::Obj(encode_spec(&plain)).encode();
+        assert!(
+            !encoded.contains("trace_capture"),
+            "uncaptured specs keep the pre-capture wire format: {encoded}"
+        );
+        let captured = plain.with_capture(TraceCapture::Chrome);
+        assert_eq!(
+            decode_spec(&Value::Obj(encode_spec(&captured))),
+            Some(captured),
+            "capture must round-trip"
+        );
+        assert_eq!(
+            captured.cache_key(),
+            plain.cache_key(),
+            "capture is an observation knob, never part of the cache key"
+        );
+        // A present-but-garbage capture tag is malformed, not ignored.
+        let mut fields = encode_spec(&plain);
+        fields.push(("trace_capture".into(), Value::Str("pcap".into())));
+        assert_eq!(decode_spec(&Value::Obj(fields)), None);
     }
 }

@@ -19,6 +19,7 @@ use senss_memprot::{MemProtConfig, MemProtPolicy};
 use senss_sim::config::CoherenceProtocol;
 use senss_sim::trace::VecTrace;
 use senss_sim::{NullExtension, Stats, System, SystemConfig};
+use senss_trace::TraceSink;
 use senss_workloads::{micro, Workload};
 
 /// Bumped whenever the meaning of cached results changes (simulator
@@ -228,6 +229,48 @@ impl From<Workload> for TraceSpec {
     }
 }
 
+/// Which trace artifact a job should capture alongside its [`Stats`].
+///
+/// Capture is an *observation* knob, not a simulation parameter: it is
+/// deliberately excluded from [`JobSpec::canonical`] (and therefore from
+/// the cache key), because a captured run produces bit-identical stats
+/// to an uncaptured one — the simulator's event stream is a pure
+/// side-channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceCapture {
+    /// Chrome `trace_event` JSON (Perfetto-loadable), one file per job.
+    Chrome,
+    /// Raw JSONL event stream, one `TraceEvent` per line.
+    Jsonl,
+}
+
+impl TraceCapture {
+    /// Canonical tag used in run records and the serve wire format.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceCapture::Chrome => "chrome",
+            TraceCapture::Jsonl => "jsonl",
+        }
+    }
+
+    /// Parses a [`tag`](TraceCapture::tag) back into a capture mode.
+    pub fn from_tag(tag: &str) -> Option<TraceCapture> {
+        match tag {
+            "chrome" => Some(TraceCapture::Chrome),
+            "jsonl" => Some(TraceCapture::Jsonl),
+            _ => None,
+        }
+    }
+
+    /// File extension of the artifact this mode writes.
+    pub fn extension(&self) -> &'static str {
+        match self {
+            TraceCapture::Chrome => "trace.json",
+            TraceCapture::Jsonl => "jsonl",
+        }
+    }
+}
+
 /// One experiment point: a fully-specified simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct JobSpec {
@@ -245,6 +288,10 @@ pub struct JobSpec {
     pub ops_per_core: usize,
     /// Workload generator seed.
     pub seed: u64,
+    /// Optional trace artifact to capture while running. Not part of
+    /// [`canonical`](JobSpec::canonical)/the cache key: capture does not
+    /// change the result, and cached stats stay valid either way.
+    pub capture: Option<TraceCapture>,
 }
 
 impl JobSpec {
@@ -259,7 +306,14 @@ impl JobSpec {
             mode: SecurityMode::Baseline,
             ops_per_core: 10_000,
             seed: 42,
+            capture: None,
         }
+    }
+
+    /// Requests a trace artifact for this job.
+    pub fn with_capture(mut self, capture: TraceCapture) -> JobSpec {
+        self.capture = Some(capture);
+        self
     }
 
     /// Sets the security mode.
@@ -353,6 +407,42 @@ impl JobSpec {
                 let ext = SenssExtension::new(self.senss_config(masks, auth_interval, cipher))
                     .with_memory_protection(policy);
                 finish(System::new(cfg, traces, ext))
+            }
+        }
+    }
+
+    /// Like [`run`](JobSpec::run), but streams every simulator trace
+    /// event into `sink` and hands the sink back alongside the stats.
+    ///
+    /// Capture never perturbs the simulation: the returned [`Stats`] are
+    /// bit-identical to an untraced [`run`](JobSpec::run) of the same
+    /// spec.
+    pub fn run_with_sink<S: TraceSink>(&self, sink: S) -> (Stats, S) {
+        fn finish<E: senss_sim::Extension, S: TraceSink>(mut sys: System<E, S>) -> (Stats, S) {
+            let stats = sys.run();
+            (stats, sys.into_sink())
+        }
+        let cfg = self.system_config();
+        let traces = self.traces();
+        match self.mode {
+            SecurityMode::Baseline => finish(System::with_sink(cfg, traces, NullExtension, sink)),
+            SecurityMode::Senss {
+                masks,
+                auth_interval,
+                cipher,
+            } => {
+                let ext = SenssExtension::new(self.senss_config(masks, auth_interval, cipher));
+                finish(System::with_sink(cfg, traces, ext, sink))
+            }
+            SecurityMode::Integrated {
+                masks,
+                auth_interval,
+                cipher,
+            } => {
+                let policy = MemProtPolicy::new(MemProtConfig::paper_default(self.cores));
+                let ext = SenssExtension::new(self.senss_config(masks, auth_interval, cipher))
+                    .with_memory_protection(policy);
+                finish(System::with_sink(cfg, traces, ext, sink))
             }
         }
     }
@@ -610,6 +700,7 @@ mod tests {
             mode: SecurityMode::Baseline,
             ops_per_core: 500,
             seed: 0,
+            capture: None,
         }
         .run();
         assert!(stats.total_cycles > 0);

@@ -224,3 +224,50 @@ fn aggregate_merges_all_records() {
     assert_eq!(total.ops_executed, 2 * 10_000);
     assert_eq!(total.total_cycles, 2_002); // max, not sum
 }
+
+#[test]
+fn captured_jobs_write_artifacts_and_bypass_the_cache() {
+    use senss_harness::TraceCapture;
+    let cache = tmp_dir("capture-cache");
+    let traces = tmp_dir("capture-traces");
+    let plain = JobSpec::new(Workload::Fft, 2, 1 << 20).with_ops(400);
+    let cfg = HarnessConfig::hermetic()
+        .with_cache_dir(&cache)
+        .with_trace_dir(&traces);
+
+    // Warm the cache with the uncaptured spec.
+    let mut warm = SweepSpec::new("");
+    warm.push(plain);
+    Harness::new(cfg.clone()).run(&warm).unwrap();
+
+    // The captured run must execute (an artifact cannot come from the
+    // cache) even though its cache key matches the warm entry.
+    let mut sweep = SweepSpec::new("");
+    sweep.push(plain.with_capture(TraceCapture::Jsonl));
+    sweep.push(plain.with_capture(TraceCapture::Chrome).with_seed(9));
+    let result = Harness::new(cfg).run(&sweep).unwrap();
+    assert!(result.is_complete());
+    assert_eq!(result.cached, 0, "capture must bypass the cache");
+
+    let jsonl = result.records[0].trace_artifact.as_deref().unwrap();
+    let text = std::fs::read_to_string(jsonl).unwrap();
+    assert!(text.lines().count() > 0);
+    for line in text.lines() {
+        senss_harness::json::parse(line).expect("every trace line is JSON");
+    }
+
+    let chrome = result.records[1].trace_artifact.as_deref().unwrap();
+    assert!(chrome.ends_with(".trace.json"), "{chrome}");
+    let doc = senss_harness::json::parse(&std::fs::read_to_string(chrome).unwrap()).unwrap();
+    assert!(doc.get("traceEvents").is_some());
+
+    // Captured stats are bit-identical to the plain run's.
+    assert_eq!(&result.records[0].stats, Harness::new(HarnessConfig::hermetic())
+        .run(&warm)
+        .unwrap()
+        .stats(&plain)
+        .unwrap());
+
+    std::fs::remove_dir_all(&cache).unwrap();
+    std::fs::remove_dir_all(&traces).unwrap();
+}

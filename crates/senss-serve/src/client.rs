@@ -204,6 +204,15 @@ impl Client {
             .collect()
     }
 
+    /// Derives trace metrics for one job of a finished sweep. Returns
+    /// the server's `senss.trace.derived.v1` object.
+    pub fn trace(&self, id: u64, index: u64) -> Result<Value, ClientError> {
+        match self.call(&Request::Trace { id, index })? {
+            (_, Response::Trace { derived, .. }) => Ok(derived),
+            (_, other) => Err(unexpected("trace", &other)),
+        }
+    }
+
     /// Snapshots the server's metrics registry.
     pub fn metrics(&self) -> Result<Value, ClientError> {
         match self.call(&Request::Metrics)? {

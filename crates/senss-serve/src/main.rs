@@ -7,6 +7,7 @@
 //!                      [--file sweep.json] [--wait] [--poll-ms 200]
 //! senss-serve status   --id N [--addr ...]
 //! senss-serve results  --id N [--addr ...]
+//! senss-serve trace    --id N --index J [--addr ...]
 //! senss-serve metrics  [--addr ...]
 //! senss-serve ping     [--addr ...]
 //! senss-serve shutdown [--addr ...]
@@ -25,7 +26,7 @@ const DEFAULT_ADDR: &str = "127.0.0.1:4765";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: senss-serve <serve|submit|status|results|metrics|ping|shutdown> [flags]\n\
+        "usage: senss-serve <serve|submit|status|results|trace|metrics|ping|shutdown> [flags]\n\
          run `senss-serve help` or see docs/serving.md for the flag reference"
     );
     std::process::exit(2);
@@ -99,6 +100,7 @@ fn main() {
         "submit" => submit(&flags),
         "status" => status(&flags),
         "results" => results(&flags),
+        "trace" => trace(&flags),
         "metrics" => metrics(&flags),
         "ping" => ping(&flags),
         "shutdown" => shutdown(&flags),
@@ -240,6 +242,21 @@ fn results(flags: &Flags) {
     {
         println!("{line}");
     }
+}
+
+fn trace(flags: &Flags) {
+    let id = flags.parse_or("id", u64::MAX);
+    if id == u64::MAX {
+        usage();
+    }
+    let index = flags.parse_or("index", u64::MAX);
+    if index == u64::MAX {
+        usage();
+    }
+    let derived = client(flags)
+        .trace(id, index)
+        .unwrap_or_else(|e| fail(format_args!("trace failed: {e}")));
+    println!("{}", derived.encode());
 }
 
 fn metrics(flags: &Flags) {

@@ -78,6 +78,8 @@ pub struct Metrics {
     pub requests_status: AtomicU64,
     /// `results` requests served.
     pub requests_results: AtomicU64,
+    /// `trace` requests served.
+    pub requests_trace: AtomicU64,
     /// `metrics` requests served.
     pub requests_metrics: AtomicU64,
     /// `ping` requests served.
@@ -120,6 +122,7 @@ impl Metrics {
             "submit" => &self.requests_submit,
             "status" => &self.requests_status,
             "results" => &self.requests_results,
+            "trace" => &self.requests_trace,
             "metrics" => &self.requests_metrics,
             "ping" => &self.requests_ping,
             "shutdown" => &self.requests_shutdown,
@@ -171,6 +174,7 @@ impl Metrics {
             ("requests_submit".to_string(), get(&self.requests_submit)),
             ("requests_status".to_string(), get(&self.requests_status)),
             ("requests_results".to_string(), get(&self.requests_results)),
+            ("requests_trace".to_string(), get(&self.requests_trace)),
             ("requests_metrics".to_string(), get(&self.requests_metrics)),
             ("requests_ping".to_string(), get(&self.requests_ping)),
             (

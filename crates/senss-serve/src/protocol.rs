@@ -12,10 +12,11 @@
 //! | → | `submit` | enqueue a [`SweepSpec`] for execution |
 //! | → | `status` | query a submitted sweep's state |
 //! | → | `results` | stream a finished sweep's per-job results |
+//! | → | `trace` | derive trace metrics for one job of a finished sweep |
 //! | → | `metrics` | snapshot the server's metrics registry |
 //! | → | `ping` | liveness probe |
 //! | → | `shutdown` | drain the job queue, then exit |
-//! | ← | `submitted`, `status`, `results`, `record`…, `end`, `metrics`, `pong`, `shutting_down` | success frames |
+//! | ← | `submitted`, `status`, `results`, `record`…, `end`, `trace`, `metrics`, `pong`, `shutting_down` | success frames |
 //! | ← | `error` | structured failure (`class`, `retriable`, `message`) |
 //!
 //! A `results` success reply is the only multi-line exchange: one
@@ -145,6 +146,15 @@ pub enum Request {
         /// Server-assigned sweep id.
         id: u64,
     },
+    /// Derive trace metrics for one job of a finished sweep. The server
+    /// re-runs the (deterministic) job with a trace sink and folds the
+    /// event stream; the sweep's cached stats are untouched.
+    Trace {
+        /// Server-assigned sweep id.
+        id: u64,
+        /// Job index within the sweep.
+        index: u64,
+    },
     /// Snapshot the metrics registry.
     Metrics,
     /// Liveness probe.
@@ -160,6 +170,7 @@ impl Request {
             Request::Submit(_) => "submit",
             Request::Status { .. } => "status",
             Request::Results { .. } => "results",
+            Request::Trace { .. } => "trace",
             Request::Metrics => "metrics",
             Request::Ping => "ping",
             Request::Shutdown => "shutdown",
@@ -188,6 +199,10 @@ impl Request {
             }
             Request::Status { id } | Request::Results { id } => {
                 fields.push(("id".to_string(), Value::UInt(*id)));
+            }
+            Request::Trace { id, index } => {
+                fields.push(("id".to_string(), Value::UInt(*id)));
+                fields.push(("index".to_string(), Value::UInt(*index)));
             }
             Request::Metrics | Request::Ping | Request::Shutdown => {}
         }
@@ -244,6 +259,12 @@ impl Request {
             }
             "status" => Ok(Request::Status { id: id()? }),
             "results" => Ok(Request::Results { id: id()? }),
+            "trace" => Ok(Request::Trace {
+                id: id()?,
+                index: v.get("index").and_then(Value::as_u64).ok_or_else(|| {
+                    (ErrorClass::Malformed, "missing job index".to_string())
+                })?,
+            }),
             "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
@@ -314,6 +335,17 @@ pub enum Response {
         /// Result lines streamed.
         count: u64,
     },
+    /// Derived trace metrics for one job (the
+    /// `senss.trace.derived.v1` object produced by
+    /// `senss_trace::DerivedMetrics::to_json`).
+    Trace {
+        /// The sweep the job belongs to.
+        id: u64,
+        /// Job index within the sweep.
+        index: u64,
+        /// The derived-metrics object.
+        derived: Value,
+    },
     /// A metrics snapshot (counter name → value object).
     Metrics(Value),
     /// Liveness reply.
@@ -382,6 +414,14 @@ impl Response {
                     ("count".to_string(), Value::UInt(*count)),
                 ],
             ),
+            Response::Trace { id, index, derived } => obj(
+                "trace",
+                vec![
+                    ("id".to_string(), Value::UInt(*id)),
+                    ("index".to_string(), Value::UInt(*index)),
+                    ("derived".to_string(), derived.clone()),
+                ],
+            ),
             Response::Metrics(snapshot) => {
                 obj("metrics", vec![("counters".to_string(), snapshot.clone())])
             }
@@ -442,6 +482,11 @@ impl Response {
             "end" => Ok(Response::End {
                 id: uint("id")?,
                 count: uint("count")?,
+            }),
+            "trace" => Ok(Response::Trace {
+                id: uint("id")?,
+                index: uint("index")?,
+                derived: v.get("derived").cloned().ok_or("missing derived")?,
             }),
             "metrics" => Ok(Response::Metrics(
                 v.get("counters").cloned().ok_or("missing counters")?,
@@ -521,6 +566,7 @@ mod tests {
             Request::Submit(sample_sweep()),
             Request::Status { id: 3 },
             Request::Results { id: u64::MAX },
+            Request::Trace { id: 7, index: 2 },
             Request::Metrics,
             Request::Ping,
             Request::Shutdown,
@@ -545,6 +591,14 @@ mod tests {
             }),
             Response::ResultsHeader { id: 1, count: 4 },
             Response::End { id: 1, count: 4 },
+            Response::Trace {
+                id: 1,
+                index: 0,
+                derived: Value::Obj(vec![(
+                    "bus_busy_cycles".to_string(),
+                    Value::UInt(42),
+                )]),
+            },
             Response::Metrics(Value::Obj(vec![(
                 "requests_total".to_string(),
                 Value::UInt(9),
@@ -602,6 +656,7 @@ mod tests {
             worker,
             attempts: 1,
             cached,
+            trace_artifact: None,
         };
         // Nondeterministic execution metadata must not leak into the line.
         let a = result_line(&mk(10, Some(0), false));

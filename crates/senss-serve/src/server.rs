@@ -27,7 +27,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -184,6 +184,14 @@ impl Shared {
     }
 }
 
+/// Locks a mutex, recovering from poisoning. A handler thread that
+/// panicked mid-update can at worst leave one sweep entry stale; every
+/// other connection must keep being served, so poisoning is never
+/// allowed to cascade into a process-wide denial of service.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A running server: its bound address, live metrics, and join/shutdown
 /// control. Dropping the handle without calling
 /// [`shutdown`](ServerHandle::shutdown) or [`join`](ServerHandle::join)
@@ -317,7 +325,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             .metrics
             .connections_total
             .fetch_add(1, Ordering::Relaxed);
-        let mut conns = shared.conns.lock().expect("conns lock poisoned");
+        let mut conns = lock_recover(&shared.conns);
         if conns.len() >= shared.pending_conns {
             drop(conns);
             shared
@@ -354,7 +362,7 @@ fn reject_connection(stream: TcpStream, shared: &Shared) {
 fn conn_worker(shared: &Shared) {
     loop {
         let stream = {
-            let mut conns = shared.conns.lock().expect("conns lock poisoned");
+            let mut conns = lock_recover(&shared.conns);
             loop {
                 if let Some(s) = conns.pop_front() {
                     break s;
@@ -362,7 +370,7 @@ fn conn_worker(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                conns = shared.conns_cv.wait(conns).expect("conns lock poisoned");
+                conns = shared.conns_cv.wait(conns).unwrap_or_else(PoisonError::into_inner);
             }
         };
         if let Err(e) = handle_connection(stream, shared) {
@@ -500,6 +508,13 @@ fn dispatch(
             writeln!(writer, "{}", response.encode())
         }
         Request::Results { id } => results(id, shared, writer),
+        Request::Trace { id, index } => {
+            let response = trace(id, index, shared);
+            if let Response::Error { class, .. } = &response {
+                shared.metrics.record_error(*class);
+            }
+            writeln!(writer, "{}", response.encode())
+        }
         Request::Metrics => {
             let snapshot = shared.metrics.snapshot();
             writeln!(writer, "{}", Response::Metrics(snapshot).encode())
@@ -523,7 +538,7 @@ fn submit(sweep: SweepSpec, shared: &Shared) -> Response {
         return Response::error(ErrorClass::ShuttingDown, "server is draining");
     }
     let jobs = sweep.len() as u64;
-    let mut table = shared.table.lock().expect("table lock poisoned");
+    let mut table = lock_recover(&shared.table);
     if table.queue.len() >= shared.queue_capacity {
         return Response::error(
             ErrorClass::Overloaded,
@@ -555,7 +570,7 @@ fn submit(sweep: SweepSpec, shared: &Shared) -> Response {
 }
 
 fn status(id: u64, shared: &Shared) -> Response {
-    let table = shared.table.lock().expect("table lock poisoned");
+    let table = lock_recover(&shared.table);
     let Some(entry) = table.entries.get(&id) else {
         return Response::error(ErrorClass::NotFound, format!("no sweep with id {id}"));
     };
@@ -592,7 +607,7 @@ fn status(id: u64, shared: &Shared) -> Response {
 
 fn results(id: u64, shared: &Shared, writer: &mut BufWriter<TcpStream>) -> std::io::Result<()> {
     let outcome = {
-        let table = shared.table.lock().expect("table lock poisoned");
+        let table = lock_recover(&shared.table);
         match table.entries.get(&id) {
             None => Err(Response::error(
                 ErrorClass::NotFound,
@@ -633,24 +648,111 @@ fn results(id: u64, shared: &Shared, writer: &mut BufWriter<TcpStream>) -> std::
     }
 }
 
+/// Bus-utilization bucket width used for served derived metrics: wide
+/// enough to keep the timeline array small for long runs, fine enough
+/// to show phase behaviour.
+const TRACE_BUCKET_CYCLES: u64 = 1 << 14;
+
+/// Serves a `trace` request: re-runs one job of a finished sweep with a
+/// ring sink and folds the event stream into derived metrics.
+///
+/// Jobs are deterministic, so the re-run reproduces exactly the
+/// execution whose stats the sweep already returned; the stored result
+/// lines are untouched. The re-run happens on the connection-handler
+/// thread (not the executor), under the same panic isolation the
+/// harness gives its workers.
+fn trace(id: u64, index: u64, shared: &Shared) -> Response {
+    let line = {
+        let table = lock_recover(&shared.table);
+        match table.entries.get(&id) {
+            None => {
+                return Response::error(ErrorClass::NotFound, format!("no sweep with id {id}"))
+            }
+            Some(entry) => match &entry.state {
+                EntryState::Queued(_) | EntryState::Running => {
+                    return Response::error(
+                        ErrorClass::NotReady,
+                        format!("sweep {id} has not finished; poll status"),
+                    )
+                }
+                EntryState::Failed { message } => {
+                    return Response::error(
+                        ErrorClass::Internal,
+                        format!("sweep {id} failed: {message}"),
+                    )
+                }
+                EntryState::Done { lines, .. } => match lines.get(index as usize) {
+                    None => {
+                        return Response::error(
+                            ErrorClass::NotFound,
+                            format!("sweep {id} has {} job(s); no index {index}", lines.len()),
+                        )
+                    }
+                    Some(line) => line.clone(),
+                },
+            },
+        }
+    };
+    let spec = match crate::protocol::parse_result_line(&line) {
+        Ok(result) => result.spec,
+        Err(e) => {
+            return Response::error(
+                ErrorClass::Internal,
+                format!("stored result line for job {index} is unreadable: {e}"),
+            )
+        }
+    };
+    let derived = std::panic::catch_unwind(move || {
+        let (_, sink) = spec.run_with_sink(senss_trace::RingSink::new());
+        senss_trace::fold(sink.events(), TRACE_BUCKET_CYCLES).to_json()
+    });
+    match derived {
+        Ok(json_text) => match senss_harness::json::parse(&json_text) {
+            Ok(derived) => Response::Trace { id, index, derived },
+            Err(e) => Response::error(
+                ErrorClass::Internal,
+                format!("derived metrics did not encode cleanly: {e}"),
+            ),
+        },
+        Err(_) => Response::error(
+            ErrorClass::Internal,
+            format!("traced re-run of job {index} panicked"),
+        ),
+    }
+}
+
 fn executor_loop(shared: &Shared, harness: &Harness, runner: Option<&JobRunner>) {
     loop {
         let (id, sweep) = {
-            let mut table = shared.table.lock().expect("table lock poisoned");
+            let mut table = lock_recover(&shared.table);
             loop {
                 if let Some(id) = table.queue.pop_front() {
-                    let entry = table.entries.get_mut(&id).expect("queued id has entry");
-                    let state = std::mem::replace(&mut entry.state, EntryState::Running);
-                    let EntryState::Queued(sweep) = state else {
-                        unreachable!("queued sweep must be in Queued state");
-                    };
-                    break (id, sweep);
+                    // A table recovered from lock poisoning can hold a
+                    // queue id whose entry was lost or left in an odd
+                    // state mid-update; skip it instead of killing the
+                    // executor (clients see `not_found` / stale status).
+                    match table.entries.get_mut(&id) {
+                        Some(entry) => {
+                            let state =
+                                std::mem::replace(&mut entry.state, EntryState::Running);
+                            if let EntryState::Queued(sweep) = state {
+                                break (id, sweep);
+                            }
+                            shared.log(format_args!(
+                                "sweep {id} was queued but not in Queued state; skipping"
+                            ));
+                        }
+                        None => shared.log(format_args!(
+                            "queued sweep {id} has no table entry; skipping"
+                        )),
+                    }
+                    continue;
                 }
                 // Drain-then-exit: leave only once the queue is empty.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                table = shared.queue_cv.wait(table).expect("table lock poisoned");
+                table = shared.queue_cv.wait(table).unwrap_or_else(PoisonError::into_inner);
             }
         };
         shared.metrics.queue_popped();
@@ -658,8 +760,13 @@ fn executor_loop(shared: &Shared, harness: &Harness, runner: Option<&JobRunner>)
             Some(r) => harness.run_with(&sweep, |j| r(j)),
             None => harness.run(&sweep),
         };
-        let mut table = shared.table.lock().expect("table lock poisoned");
-        let entry = table.entries.get_mut(&id).expect("running id has entry");
+        let mut table = lock_recover(&shared.table);
+        let Some(entry) = table.entries.get_mut(&id) else {
+            shared.log(format_args!(
+                "sweep {id} vanished from the table; dropping its result"
+            ));
+            continue;
+        };
         match outcome {
             Ok(result) => {
                 shared

@@ -254,6 +254,90 @@ fn unknown_ids_and_unfinished_sweeps_are_classified() {
 }
 
 #[test]
+fn trace_requests_derive_metrics_and_classify_errors() {
+    let server = Server::start(ServerConfig::loopback()).unwrap();
+    let client = Client::new(server.addr().to_string());
+
+    // Unknown sweep id.
+    match client.trace(999, 0) {
+        Err(ClientError::Server {
+            class: ErrorClass::NotFound,
+            retriable: false,
+            ..
+        }) => {}
+        other => panic!("expected not_found for unknown id, got {other:?}"),
+    }
+
+    let sweep = small_sweep("traced", 21);
+    let (id, _) = client.submit(&sweep).expect("submit");
+    loop {
+        match client.status(id).expect("status").state {
+            SweepState::Done => break,
+            SweepState::Failed => panic!("sweep failed"),
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let results = client.results(id).expect("results");
+
+    // The derived metrics carry the schema tag and tie out against the
+    // stats the server already returned for the same job.
+    let derived = client.trace(id, 0).expect("trace");
+    assert_eq!(
+        derived.get("schema").and_then(|v| v.as_str()),
+        Some("senss.trace.derived.v1")
+    );
+    assert_eq!(
+        derived.get("bus_busy_cycles").and_then(|v| v.as_u64()),
+        Some(results[0].stats.bus_busy_cycles),
+        "traced re-run must reproduce the recorded bus occupancy"
+    );
+    assert!(derived.get("total_transactions").and_then(|v| v.as_u64()).unwrap() > 0);
+    assert!(derived.get("txns").is_some());
+
+    // Index past the end of the sweep.
+    match client.trace(id, sweep.len() as u64) {
+        Err(ClientError::Server {
+            class: ErrorClass::NotFound,
+            ..
+        }) => {}
+        other => panic!("expected not_found for bad index, got {other:?}"),
+    }
+
+    let m = client.metrics().unwrap();
+    assert_eq!(m.get("requests_trace").unwrap().as_u64(), Some(3));
+    server.shutdown();
+}
+
+#[test]
+fn trace_of_an_unfinished_sweep_is_retriably_not_ready() {
+    // A runner that blocks until released pins the sweep in Running, so
+    // the trace request deterministically observes an unfinished sweep.
+    let release = Arc::new(AtomicBool::new(false));
+    let runner_release = Arc::clone(&release);
+    let cfg = ServerConfig::loopback().with_runner(Arc::new(move |_spec: &JobSpec| {
+        while !runner_release.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Stats::default()
+    }));
+    let server = Server::start(cfg).unwrap();
+    let client = Client::new(server.addr().to_string());
+    let mut sweep = SweepSpec::new("pinned");
+    sweep.push(JobSpec::new(Workload::Fft, 2, 1 << 20).with_ops(100));
+    let (id, _) = client.submit(&sweep).expect("submit");
+    match client.trace(id, 0) {
+        Err(ClientError::Server {
+            class: ErrorClass::NotReady,
+            retriable: true,
+            ..
+        }) => {}
+        other => panic!("expected retriable not_ready, got {other:?}"),
+    }
+    release.store(true, Ordering::SeqCst);
+    server.shutdown();
+}
+
+#[test]
 fn metrics_reflect_traffic_including_cache_hits() {
     // A cache-enabled harness in a temp dir: resubmitting the same
     // sweep must be served from the cache, visible in the metrics.

@@ -43,6 +43,26 @@ pub enum TxnKind {
     PadRequest,
 }
 
+/// Keeps the tracing mirror in lockstep: adding a `TxnKind` variant
+/// fails to compile until `senss_trace::TxnClass` learns it too.
+impl From<TxnKind> for senss_trace::TxnClass {
+    fn from(kind: TxnKind) -> senss_trace::TxnClass {
+        use senss_trace::TxnClass;
+        match kind {
+            TxnKind::Read => TxnClass::Read,
+            TxnKind::ReadExclusive => TxnClass::ReadExclusive,
+            TxnKind::Upgrade => TxnClass::Upgrade,
+            TxnKind::Update => TxnClass::Update,
+            TxnKind::Writeback => TxnClass::Writeback,
+            TxnKind::HashFetch => TxnClass::HashFetch,
+            TxnKind::HashWriteback => TxnClass::HashWriteback,
+            TxnKind::Auth => TxnClass::Auth,
+            TxnKind::PadInvalidate => TxnClass::PadInvalidate,
+            TxnKind::PadRequest => TxnClass::PadRequest,
+        }
+    }
+}
+
 impl TxnKind {
     /// Whether the transaction moves a full data line across the bus.
     pub fn carries_line(self) -> bool {

@@ -18,6 +18,7 @@
 //! against.
 
 use crate::bus::Transaction;
+use senss_trace::Tracer;
 
 /// Follow-up bus messages an extension asks the simulator to inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,9 +41,16 @@ pub enum FollowUp {
 pub trait Extension {
     /// Cycles the granted transfer must wait before it can start (e.g. no
     /// encryption mask is available yet). Called only for cache-to-cache
-    /// data transfers. `now` is the grant cycle.
-    fn transfer_start_delay(&mut self, txn: &Transaction, now: u64) -> u64 {
-        let _ = (txn, now);
+    /// data transfers. `now` is the grant cycle. `tracer` lets the
+    /// extension emit trace events (e.g. `ShuEncrypt`) into the
+    /// simulator's sink; it is disabled unless tracing is on.
+    fn transfer_start_delay(
+        &mut self,
+        txn: &Transaction,
+        now: u64,
+        tracer: &mut Tracer<'_>,
+    ) -> u64 {
+        let _ = (txn, now, tracer);
         0
     }
 
@@ -55,9 +63,15 @@ pub trait Extension {
     }
 
     /// Called when any bus transaction completes; returns follow-up
-    /// messages to inject (authentication, pad coherence).
-    fn transaction_complete(&mut self, txn: &Transaction, now: u64) -> Vec<FollowUp> {
-        let _ = (txn, now);
+    /// messages to inject (authentication, pad coherence). `tracer` lets
+    /// the extension emit trace events (e.g. `ShuVerify`).
+    fn transaction_complete(
+        &mut self,
+        txn: &Transaction,
+        now: u64,
+        tracer: &mut Tracer<'_>,
+    ) -> Vec<FollowUp> {
+        let _ = (txn, now, tracer);
         Vec::new()
     }
 
@@ -102,16 +116,26 @@ impl Extension for NullExtension {}
 /// Blanket impl so `&mut E` can be handed to a [`crate::system::System`]
 /// when the caller wants to keep ownership of the extension.
 impl<E: Extension + ?Sized> Extension for &mut E {
-    fn transfer_start_delay(&mut self, txn: &Transaction, now: u64) -> u64 {
-        (**self).transfer_start_delay(txn, now)
+    fn transfer_start_delay(
+        &mut self,
+        txn: &Transaction,
+        now: u64,
+        tracer: &mut Tracer<'_>,
+    ) -> u64 {
+        (**self).transfer_start_delay(txn, now, tracer)
     }
 
     fn transfer_extra_latency(&mut self, txn: &Transaction) -> u64 {
         (**self).transfer_extra_latency(txn)
     }
 
-    fn transaction_complete(&mut self, txn: &Transaction, now: u64) -> Vec<FollowUp> {
-        (**self).transaction_complete(txn, now)
+    fn transaction_complete(
+        &mut self,
+        txn: &Transaction,
+        now: u64,
+        tracer: &mut Tracer<'_>,
+    ) -> Vec<FollowUp> {
+        (**self).transaction_complete(txn, now, tracer)
     }
 
     fn pad_request_needed(&mut self, pid: usize, addr: u64) -> bool {
@@ -153,9 +177,11 @@ mod tests {
     #[test]
     fn null_extension_is_free() {
         let mut e = NullExtension;
-        assert_eq!(e.transfer_start_delay(&txn(), 0), 0);
+        assert_eq!(e.transfer_start_delay(&txn(), 0, &mut Tracer::disabled()), 0);
         assert_eq!(e.transfer_extra_latency(&txn()), 0);
-        assert!(e.transaction_complete(&txn(), 0).is_empty());
+        assert!(e
+            .transaction_complete(&txn(), 0, &mut Tracer::disabled())
+            .is_empty());
         assert!(!e.pad_request_needed(0, 0x40));
         assert!(e.integrity_chain(0, 0x40).is_empty());
         assert!(e.writeback_chain(0, 0x40).is_empty());

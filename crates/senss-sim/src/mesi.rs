@@ -19,6 +19,19 @@ pub enum MesiState {
     Modified,
 }
 
+/// Keeps the tracing mirror in lockstep with the protocol states.
+impl From<MesiState> for senss_trace::MesiPoint {
+    fn from(state: MesiState) -> senss_trace::MesiPoint {
+        use senss_trace::MesiPoint;
+        match state {
+            MesiState::Invalid => MesiPoint::Invalid,
+            MesiState::Shared => MesiPoint::Shared,
+            MesiState::Exclusive => MesiPoint::Exclusive,
+            MesiState::Modified => MesiPoint::Modified,
+        }
+    }
+}
+
 impl MesiState {
     /// Whether the line may satisfy a local read without a bus transaction.
     pub fn can_read(self) -> bool {

@@ -1,0 +1,208 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Produces the JSON-object flavour of the [Trace Event Format] —
+//! `{"traceEvents":[...]}` — which loads directly in `chrome://tracing`
+//! and [Perfetto]. Mapping:
+//!
+//! - `TxnStart`/`TxnDone` become `B`/`E` span pairs on `tid = token`.
+//!   Tokens are recycled by the simulator, but only after `TxnDone`, so
+//!   spans on one `tid` never overlap and always nest trivially.
+//! - Instants (`BusGrant`, `MesiTransition`, `ShuEncrypt`, `ShuVerify`,
+//!   `MemFill`) become thread-scoped `i` events; per-processor instants
+//!   sit on a dedicated lane `tid = CPU_LANE_BASE + pid` so they group
+//!   visually by core.
+//! - `ts` is the simulated cycle count, verbatim. The viewer labels it
+//!   microseconds; read "1 µs" as "1 cycle".
+//!
+//! Events are exported in emission order, so `ts` is monotonically
+//! non-decreasing across the array (asserted in tests).
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://ui.perfetto.dev
+
+use crate::event::TraceEvent;
+use std::fmt::Write as _;
+
+/// Instant lanes for per-processor events start here, far above any
+/// real transaction token (tokens are dense slab indices).
+pub const CPU_LANE_BASE: u64 = 1 << 32;
+
+/// Renders an event stream as a Chrome `trace_event` JSON object.
+pub fn chrome_trace<'a, I>(events: I) -> String
+where
+    I: IntoIterator<Item = &'a TraceEvent>,
+{
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_event(&mut out, ev);
+    }
+    out.push_str("],\"otherData\":{\"ts_unit\":\"simulated_cycles\"}}");
+    out
+}
+
+fn write_event(out: &mut String, ev: &TraceEvent) {
+    match *ev {
+        TraceEvent::TxnStart {
+            time,
+            pid,
+            token,
+            kind,
+            addr,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"txn\",\"ph\":\"B\",\
+                 \"ts\":{time},\"pid\":1,\"tid\":{token},\
+                 \"args\":{{\"cpu\":{pid},\"addr\":{addr}}}}}",
+                kind.name()
+            );
+        }
+        TraceEvent::TxnDone {
+            time,
+            pid,
+            token,
+            kind,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"txn\",\"ph\":\"E\",\
+                 \"ts\":{time},\"pid\":1,\"tid\":{token},\
+                 \"args\":{{\"cpu\":{pid}}}}}",
+                kind.name()
+            );
+        }
+        TraceEvent::BusGrant {
+            time,
+            pid,
+            token,
+            kind,
+            queue_depth,
+            busy,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"bus_grant\",\"cat\":\"bus\",\"ph\":\"i\",\
+                 \"s\":\"t\",\"ts\":{time},\"pid\":1,\"tid\":{token},\
+                 \"args\":{{\"cpu\":{pid},\"kind\":\"{}\",\
+                 \"queue_depth\":{queue_depth},\"busy\":{busy}}}}}",
+                kind.name()
+            );
+        }
+        TraceEvent::MesiTransition {
+            time,
+            pid,
+            addr,
+            from,
+            to,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"mesi {}>{}\",\"cat\":\"mesi\",\"ph\":\"i\",\
+                 \"s\":\"t\",\"ts\":{time},\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"addr\":{addr}}}}}",
+                from.letter(),
+                to.letter(),
+                CPU_LANE_BASE + pid as u64
+            );
+        }
+        TraceEvent::ShuEncrypt {
+            time,
+            pid,
+            token,
+            stall,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"shu_encrypt\",\"cat\":\"shu\",\"ph\":\"i\",\
+                 \"s\":\"t\",\"ts\":{time},\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"token\":{token},\"stall\":{stall}}}}}",
+                CPU_LANE_BASE + pid as u64
+            );
+        }
+        TraceEvent::ShuVerify {
+            time,
+            pid,
+            token,
+            auth_round,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"shu_verify\",\"cat\":\"shu\",\"ph\":\"i\",\
+                 \"s\":\"t\",\"ts\":{time},\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"token\":{token},\"auth_round\":{auth_round}}}}}",
+                CPU_LANE_BASE + pid as u64
+            );
+        }
+        TraceEvent::MemFill {
+            time,
+            pid,
+            token,
+            addr,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"mem_fill\",\"cat\":\"mem\",\"ph\":\"i\",\
+                 \"s\":\"t\",\"ts\":{time},\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"token\":{token},\"addr\":{addr}}}}}",
+                CPU_LANE_BASE + pid as u64
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MesiPoint, TxnClass};
+
+    #[test]
+    fn exports_span_pairs_and_instants() {
+        let events = [
+            TraceEvent::TxnStart {
+                time: 10,
+                pid: 0,
+                token: 4,
+                kind: TxnClass::Read,
+                addr: 64,
+            },
+            TraceEvent::MesiTransition {
+                time: 10,
+                pid: 1,
+                addr: 64,
+                from: MesiPoint::Modified,
+                to: MesiPoint::Shared,
+            },
+            TraceEvent::TxnDone {
+                time: 190,
+                pid: 0,
+                token: 4,
+                kind: TxnClass::Read,
+                addr: 64,
+            },
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"mesi M>S\""));
+        assert!(json.contains(&format!("\"tid\":{}", CPU_LANE_BASE + 1)));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let json = chrome_trace(&[]);
+        assert_eq!(
+            json,
+            "{\"traceEvents\":[],\"otherData\":{\"ts_unit\":\"simulated_cycles\"}}"
+        );
+    }
+}

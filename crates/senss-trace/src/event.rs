@@ -1,0 +1,501 @@
+//! Typed trace events and the small mirror enums they carry.
+//!
+//! `senss-trace` sits *below* `senss-sim` in the dependency graph, so it
+//! cannot name the simulator's `TxnKind`/`MesiState` directly. Instead it
+//! defines wire-stable mirrors ([`TxnClass`], [`MesiPoint`]) and the
+//! simulator provides `From` conversions next to the originals, where a
+//! new variant cannot be added without the compiler pointing here.
+
+use std::fmt::Write as _;
+
+/// Bus-transaction class — mirrors `senss_sim::TxnKind` one-to-one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnClass {
+    /// Read miss (BusRd).
+    Read,
+    /// Write miss (BusRdX).
+    ReadExclusive,
+    /// S→M upgrade without data (BusUpgr).
+    Upgrade,
+    /// Write-update broadcast (BusUpd).
+    Update,
+    /// Dirty-line write-back.
+    Writeback,
+    /// Merkle-line fetch.
+    HashFetch,
+    /// Merkle-line write-back.
+    HashWriteback,
+    /// SENSS bus-authentication message.
+    Auth,
+    /// Pad invalidate message.
+    PadInvalidate,
+    /// Pad request message.
+    PadRequest,
+}
+
+impl TxnClass {
+    /// Number of classes (array-index domain).
+    pub const COUNT: usize = 10;
+
+    /// Every class, in [`TxnClass::index`] order.
+    pub const ALL: [TxnClass; TxnClass::COUNT] = [
+        TxnClass::Read,
+        TxnClass::ReadExclusive,
+        TxnClass::Upgrade,
+        TxnClass::Update,
+        TxnClass::Writeback,
+        TxnClass::HashFetch,
+        TxnClass::HashWriteback,
+        TxnClass::Auth,
+        TxnClass::PadInvalidate,
+        TxnClass::PadRequest,
+    ];
+
+    /// Dense index for per-class tables.
+    pub fn index(self) -> usize {
+        match self {
+            TxnClass::Read => 0,
+            TxnClass::ReadExclusive => 1,
+            TxnClass::Upgrade => 2,
+            TxnClass::Update => 3,
+            TxnClass::Writeback => 4,
+            TxnClass::HashFetch => 5,
+            TxnClass::HashWriteback => 6,
+            TxnClass::Auth => 7,
+            TxnClass::PadInvalidate => 8,
+            TxnClass::PadRequest => 9,
+        }
+    }
+
+    /// Stable wire name (used in JSONL, derived metrics, and Chrome
+    /// span names).
+    pub fn name(self) -> &'static str {
+        match self {
+            TxnClass::Read => "read",
+            TxnClass::ReadExclusive => "read_exclusive",
+            TxnClass::Upgrade => "upgrade",
+            TxnClass::Update => "update",
+            TxnClass::Writeback => "writeback",
+            TxnClass::HashFetch => "hash_fetch",
+            TxnClass::HashWriteback => "hash_writeback",
+            TxnClass::Auth => "auth",
+            TxnClass::PadInvalidate => "pad_invalidate",
+            TxnClass::PadRequest => "pad_request",
+        }
+    }
+
+    /// Inverse of [`TxnClass::name`].
+    pub fn from_name(name: &str) -> Option<TxnClass> {
+        TxnClass::ALL.iter().copied().find(|c| c.name() == name)
+    }
+}
+
+/// MESI coherence state — mirrors `senss_sim::MesiState`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MesiPoint {
+    /// Invalid.
+    Invalid,
+    /// Shared (clean, possibly multiple copies).
+    Shared,
+    /// Exclusive (clean, sole copy).
+    Exclusive,
+    /// Modified (dirty, sole copy).
+    Modified,
+}
+
+impl MesiPoint {
+    /// Every state, in [`MesiPoint::index`] order.
+    pub const ALL: [MesiPoint; 4] = [
+        MesiPoint::Invalid,
+        MesiPoint::Shared,
+        MesiPoint::Exclusive,
+        MesiPoint::Modified,
+    ];
+
+    /// Dense index for the 4×4 transition matrix.
+    pub fn index(self) -> usize {
+        match self {
+            MesiPoint::Invalid => 0,
+            MesiPoint::Shared => 1,
+            MesiPoint::Exclusive => 2,
+            MesiPoint::Modified => 3,
+        }
+    }
+
+    /// One-letter state name: `I`, `S`, `E`, `M`.
+    pub fn letter(self) -> char {
+        match self {
+            MesiPoint::Invalid => 'I',
+            MesiPoint::Shared => 'S',
+            MesiPoint::Exclusive => 'E',
+            MesiPoint::Modified => 'M',
+        }
+    }
+}
+
+/// One simulator event, stamped with simulated cycle time.
+///
+/// `TxnStart`/`TxnDone` are span endpoints keyed by `token` (the
+/// simulator's transaction slot handle — tokens are recycled, but only
+/// after `TxnDone`, so per-token spans never overlap in time). Everything
+/// else is an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The arbiter granted the bus. `busy` is the cycles this transaction
+    /// occupies the bus, so summing `busy` over a full trace reproduces
+    /// `Stats::bus_busy_cycles` exactly.
+    BusGrant {
+        /// Grant cycle.
+        time: u64,
+        /// Requesting processor.
+        pid: u32,
+        /// Transaction token.
+        token: u64,
+        /// Transaction class.
+        kind: TxnClass,
+        /// Line address.
+        addr: u64,
+        /// Requests still queued in the arbiter after this grant.
+        queue_depth: u32,
+        /// Bus-occupancy cycles of this transaction.
+        busy: u64,
+    },
+    /// A transaction entered the bus (span open; emitted at grant,
+    /// adjacent to the `Stats` per-kind counter so counts always agree).
+    TxnStart {
+        /// Grant cycle.
+        time: u64,
+        /// Requesting processor.
+        pid: u32,
+        /// Transaction token.
+        token: u64,
+        /// Transaction class.
+        kind: TxnClass,
+        /// Line address.
+        addr: u64,
+    },
+    /// A transaction completed (span close).
+    TxnDone {
+        /// Completion cycle.
+        time: u64,
+        /// Requesting processor.
+        pid: u32,
+        /// Transaction token.
+        token: u64,
+        /// Transaction class.
+        kind: TxnClass,
+        /// Line address.
+        addr: u64,
+    },
+    /// An L2 line changed MESI state (snoop, fill, or upgrade).
+    MesiTransition {
+        /// Cycle of the state change.
+        time: u64,
+        /// Processor whose cache changed state.
+        pid: u32,
+        /// Line address.
+        addr: u64,
+        /// State before.
+        from: MesiPoint,
+        /// State after.
+        to: MesiPoint,
+    },
+    /// The SHU encrypted a cache-to-cache transfer; `stall` is the
+    /// cycles the transfer waited for a one-time mask.
+    ShuEncrypt {
+        /// Grant cycle of the secured transfer.
+        time: u64,
+        /// Sending processor.
+        pid: u32,
+        /// Transaction token.
+        token: u64,
+        /// Mask-wait stall cycles (0 = mask was precomputed).
+        stall: u64,
+    },
+    /// A SENSS authentication round fired.
+    ShuVerify {
+        /// Cycle the auth transaction was scheduled.
+        time: u64,
+        /// Round-robin initiator of this round.
+        pid: u32,
+        /// Token of the transfer that triggered the round.
+        token: u64,
+        /// Monotonic auth-round number.
+        auth_round: u64,
+    },
+    /// A line fill was supplied by main memory (not cache-to-cache).
+    MemFill {
+        /// Completion cycle of the fill.
+        time: u64,
+        /// Filled processor.
+        pid: u32,
+        /// Transaction token.
+        token: u64,
+        /// Line address.
+        addr: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Simulated cycle the event is stamped with.
+    pub fn time(&self) -> u64 {
+        match *self {
+            TraceEvent::BusGrant { time, .. }
+            | TraceEvent::TxnStart { time, .. }
+            | TraceEvent::TxnDone { time, .. }
+            | TraceEvent::MesiTransition { time, .. }
+            | TraceEvent::ShuEncrypt { time, .. }
+            | TraceEvent::ShuVerify { time, .. }
+            | TraceEvent::MemFill { time, .. } => time,
+        }
+    }
+
+    /// Stable wire name of the event type.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::BusGrant { .. } => "bus_grant",
+            TraceEvent::TxnStart { .. } => "txn_start",
+            TraceEvent::TxnDone { .. } => "txn_done",
+            TraceEvent::MesiTransition { .. } => "mesi_transition",
+            TraceEvent::ShuEncrypt { .. } => "shu_encrypt",
+            TraceEvent::ShuVerify { .. } => "shu_verify",
+            TraceEvent::MemFill { .. } => "mem_fill",
+        }
+    }
+
+    /// Appends the event as one JSON object (no trailing newline).
+    /// Field order is fixed, so identical event streams serialize to
+    /// byte-identical text.
+    pub fn write_json(&self, out: &mut String) {
+        // Every field is an unsigned integer or a fixed token from a
+        // static table, so no string escaping is needed.
+        match *self {
+            TraceEvent::BusGrant {
+                time,
+                pid,
+                token,
+                kind,
+                addr,
+                queue_depth,
+                busy,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"bus_grant\",\"t\":{time},\"pid\":{pid},\
+                     \"token\":{token},\"kind\":\"{}\",\"addr\":{addr},\
+                     \"queue_depth\":{queue_depth},\"busy\":{busy}}}",
+                    kind.name()
+                );
+            }
+            TraceEvent::TxnStart {
+                time,
+                pid,
+                token,
+                kind,
+                addr,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"txn_start\",\"t\":{time},\"pid\":{pid},\
+                     \"token\":{token},\"kind\":\"{}\",\"addr\":{addr}}}",
+                    kind.name()
+                );
+            }
+            TraceEvent::TxnDone {
+                time,
+                pid,
+                token,
+                kind,
+                addr,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"txn_done\",\"t\":{time},\"pid\":{pid},\
+                     \"token\":{token},\"kind\":\"{}\",\"addr\":{addr}}}",
+                    kind.name()
+                );
+            }
+            TraceEvent::MesiTransition {
+                time,
+                pid,
+                addr,
+                from,
+                to,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"mesi_transition\",\"t\":{time},\"pid\":{pid},\
+                     \"addr\":{addr},\"from\":\"{}\",\"to\":\"{}\"}}",
+                    from.letter(),
+                    to.letter()
+                );
+            }
+            TraceEvent::ShuEncrypt {
+                time,
+                pid,
+                token,
+                stall,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"shu_encrypt\",\"t\":{time},\"pid\":{pid},\
+                     \"token\":{token},\"stall\":{stall}}}"
+                );
+            }
+            TraceEvent::ShuVerify {
+                time,
+                pid,
+                token,
+                auth_round,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"shu_verify\",\"t\":{time},\"pid\":{pid},\
+                     \"token\":{token},\"auth_round\":{auth_round}}}"
+                );
+            }
+            TraceEvent::MemFill {
+                time,
+                pid,
+                token,
+                addr,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"mem_fill\",\"t\":{time},\"pid\":{pid},\
+                     \"token\":{token},\"addr\":{addr}}}"
+                );
+            }
+        }
+    }
+
+    /// The event as one JSON line (without trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_json(&mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_class_index_name_roundtrip() {
+        for (i, class) in TxnClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert_eq!(TxnClass::from_name(class.name()), Some(*class));
+        }
+        assert_eq!(TxnClass::from_name("nonsense"), None);
+        assert_eq!(TxnClass::ALL.len(), TxnClass::COUNT);
+    }
+
+    #[test]
+    fn mesi_point_index_is_dense() {
+        for (i, state) in MesiPoint::ALL.iter().enumerate() {
+            assert_eq!(state.index(), i);
+        }
+    }
+
+    #[test]
+    fn json_lines_are_stable() {
+        let ev = TraceEvent::BusGrant {
+            time: 42,
+            pid: 1,
+            token: 9,
+            kind: TxnClass::ReadExclusive,
+            addr: 0x1240,
+            queue_depth: 3,
+            busy: 2,
+        };
+        assert_eq!(
+            ev.to_json_line(),
+            "{\"ev\":\"bus_grant\",\"t\":42,\"pid\":1,\"token\":9,\
+             \"kind\":\"read_exclusive\",\"addr\":4672,\
+             \"queue_depth\":3,\"busy\":2}"
+        );
+        let mesi = TraceEvent::MesiTransition {
+            time: 7,
+            pid: 0,
+            addr: 64,
+            from: MesiPoint::Modified,
+            to: MesiPoint::Shared,
+        };
+        assert_eq!(
+            mesi.to_json_line(),
+            "{\"ev\":\"mesi_transition\",\"t\":7,\"pid\":0,\"addr\":64,\
+             \"from\":\"M\",\"to\":\"S\"}"
+        );
+    }
+
+    #[test]
+    fn time_and_name_cover_every_variant() {
+        let events = [
+            TraceEvent::BusGrant {
+                time: 1,
+                pid: 0,
+                token: 0,
+                kind: TxnClass::Read,
+                addr: 0,
+                queue_depth: 0,
+                busy: 1,
+            },
+            TraceEvent::TxnStart {
+                time: 2,
+                pid: 0,
+                token: 0,
+                kind: TxnClass::Read,
+                addr: 0,
+            },
+            TraceEvent::TxnDone {
+                time: 3,
+                pid: 0,
+                token: 0,
+                kind: TxnClass::Read,
+                addr: 0,
+            },
+            TraceEvent::MesiTransition {
+                time: 4,
+                pid: 0,
+                addr: 0,
+                from: MesiPoint::Invalid,
+                to: MesiPoint::Exclusive,
+            },
+            TraceEvent::ShuEncrypt {
+                time: 5,
+                pid: 0,
+                token: 0,
+                stall: 0,
+            },
+            TraceEvent::ShuVerify {
+                time: 6,
+                pid: 0,
+                token: 0,
+                auth_round: 1,
+            },
+            TraceEvent::MemFill {
+                time: 7,
+                pid: 0,
+                token: 0,
+                addr: 0,
+            },
+        ];
+        let names: Vec<&str> = events.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "bus_grant",
+                "txn_start",
+                "txn_done",
+                "mesi_transition",
+                "shu_encrypt",
+                "shu_verify",
+                "mem_fill"
+            ]
+        );
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.time(), i as u64 + 1);
+        }
+    }
+}

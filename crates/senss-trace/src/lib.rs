@@ -1,0 +1,126 @@
+//! `senss-trace` — zero-overhead-when-off event tracing for the SENSS
+//! simulator stack.
+//!
+//! The paper's evaluation (§7) reasons about *where* cycles go — bus
+//! occupancy, cache-to-cache vs memory latency, SHU encryption stalls —
+//! but an end-of-run `Stats` aggregate cannot answer "which phase of this
+//! run saturated the bus". This crate adds a structured, deterministic
+//! trace of typed simulator events plus the post-processing to turn a
+//! trace into derived metrics and a Chrome `trace_event` file.
+//!
+//! Three design rules:
+//!
+//! 1. **Off means free.** The simulator is generic over [`TraceSink`] and
+//!    defaults to [`NullSink`], whose `enabled()` is an `#[inline(always)]`
+//!    `false`. Every instrumentation site is guarded by
+//!    `if sink.enabled()`, so the monomorphized `NullSink` hot path
+//!    compiles to exactly the un-instrumented code.
+//! 2. **Determinism.** Events are stamped with *simulated* cycle time and
+//!    emitted in simulation order; two identical runs produce
+//!    byte-identical traces (asserted in tests). No wall-clock anywhere.
+//! 3. **Zero dependencies.** JSON is written by hand, like everywhere
+//!    else in this workspace.
+//!
+//! See `docs/observability.md` for the event taxonomy and the Perfetto
+//! workflow.
+
+mod chrome;
+mod derive;
+mod event;
+mod sink;
+
+pub use chrome::chrome_trace;
+pub use derive::{fold, DerivedMetrics, LatencySummary};
+pub use event::{MesiPoint, TraceEvent, TxnClass};
+pub use sink::{JsonlSink, NullSink, RingSink, TraceSink};
+
+/// A borrowed handle passed into extension hooks so security layers can
+/// emit events (e.g. `ShuEncrypt`) into the simulator's sink without the
+/// extension being generic over the sink type.
+///
+/// Constructed per hook call via [`Tracer::of`]; for a [`NullSink`] the
+/// `enabled()` check constant-folds and the tracer is permanently
+/// disabled, so `emit` closures are never built.
+pub struct Tracer<'a> {
+    sink: Option<&'a mut dyn TraceSink>,
+}
+
+impl<'a> Tracer<'a> {
+    /// A tracer that records nothing. Use in tests and in code paths
+    /// that call extension hooks outside a traced simulation.
+    pub fn disabled() -> Tracer<'static> {
+        Tracer { sink: None }
+    }
+
+    /// Wraps `sink`, short-circuiting to a disabled tracer when the sink
+    /// reports itself off (monomorphized away entirely for `NullSink`).
+    #[inline]
+    pub fn of<S: TraceSink>(sink: &'a mut S) -> Tracer<'a> {
+        if sink.enabled() {
+            Tracer { sink: Some(sink) }
+        } else {
+            Tracer { sink: None }
+        }
+    }
+
+    /// Whether emitted events will be recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits the event built by `build` — the closure runs only when a
+    /// live sink is attached, so argument formatting costs nothing when
+    /// tracing is off.
+    #[inline]
+    pub fn emit(&mut self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit(build());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let mut built = false;
+        let mut t = Tracer::disabled();
+        t.emit(|| {
+            built = true;
+            TraceEvent::MemFill {
+                time: 0,
+                pid: 0,
+                token: 0,
+                addr: 0,
+            }
+        });
+        assert!(!built);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn tracer_of_null_sink_is_disabled() {
+        let mut sink = NullSink;
+        let t = Tracer::of(&mut sink);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn tracer_of_ring_sink_records() {
+        let mut sink = RingSink::with_capacity(8);
+        let mut t = Tracer::of(&mut sink);
+        assert!(t.is_enabled());
+        t.emit(|| TraceEvent::ShuEncrypt {
+            time: 7,
+            pid: 1,
+            token: 3,
+            stall: 12,
+        });
+        let _ = t;
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events().next().unwrap().time(), 7);
+    }
+}

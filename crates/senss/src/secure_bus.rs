@@ -17,6 +17,7 @@ use crate::mask::{MaskArray, PERFECT_MASKS};
 use senss_memprot::MemProtPolicy;
 use senss_sim::bus::{Transaction, TxnKind};
 use senss_sim::extension::{Extension, FollowUp};
+use senss_trace::{TraceEvent, Tracer};
 
 /// Which encryption/authentication algorithm pair the SHU runs (§4.3
 /// *Implications*).
@@ -237,16 +238,33 @@ impl SenssExtension {
 }
 
 impl Extension for SenssExtension {
-    fn transfer_start_delay(&mut self, txn: &Transaction, now: u64) -> u64 {
+    fn transfer_start_delay(
+        &mut self,
+        txn: &Transaction,
+        now: u64,
+        tracer: &mut Tracer<'_>,
+    ) -> u64 {
         let g = self.group_of[txn.request.pid];
-        self.groups[g].masks.acquire(now)
+        let stall = self.groups[g].masks.acquire(now);
+        tracer.emit(|| TraceEvent::ShuEncrypt {
+            time: now,
+            pid: txn.request.pid as u32,
+            token: txn.request.token,
+            stall,
+        });
+        stall
     }
 
     fn transfer_extra_latency(&mut self, _txn: &Transaction) -> u64 {
         self.cfg.per_transfer_overhead
     }
 
-    fn transaction_complete(&mut self, txn: &Transaction, _now: u64) -> Vec<FollowUp> {
+    fn transaction_complete(
+        &mut self,
+        txn: &Transaction,
+        now: u64,
+        tracer: &mut Tracer<'_>,
+    ) -> Vec<FollowUp> {
         let mut followups = Vec::new();
         if txn.is_cache_to_cache() {
             self.stats.secured_transfers += 1;
@@ -258,6 +276,13 @@ impl Extension for SenssExtension {
                 let initiator = group.members[group.next_initiator_idx % group.members.len()];
                 group.next_initiator_idx += 1;
                 self.stats.auth_rounds += 1;
+                let auth_round = self.stats.auth_rounds;
+                tracer.emit(|| TraceEvent::ShuVerify {
+                    time: now,
+                    pid: initiator as u32,
+                    token: txn.request.token,
+                    auth_round,
+                });
                 followups.push(FollowUp::Auth { initiator });
             }
         }
@@ -334,6 +359,11 @@ mod tests {
         }
     }
 
+    /// A fresh disabled tracer for direct hook calls.
+    fn tr() -> Tracer<'static> {
+        Tracer::disabled()
+    }
+
     fn mem_txn() -> Transaction {
         Transaction {
             request: BusRequest {
@@ -360,7 +390,7 @@ mod tests {
         let mut e = SenssExtension::new(cfg);
         let mut initiators = Vec::new();
         for i in 0..8 {
-            for f in e.transaction_complete(&c2c_txn(i % 2), 0) {
+            for f in e.transaction_complete(&c2c_txn(i % 2), 0, &mut tr()) {
                 match f {
                     FollowUp::Auth { initiator } => initiators.push(initiator),
                     other => panic!("unexpected follow-up {other:?}"),
@@ -376,7 +406,7 @@ mod tests {
     fn memory_fills_do_not_tick_the_auth_counter() {
         let cfg = SenssConfig::paper_default(2).with_auth_interval(1);
         let mut e = SenssExtension::new(cfg);
-        assert!(e.transaction_complete(&mem_txn(), 0).is_empty());
+        assert!(e.transaction_complete(&mem_txn(), 0, &mut tr()).is_empty());
         assert_eq!(e.stats().secured_transfers, 0);
     }
 
@@ -384,9 +414,40 @@ mod tests {
     fn mask_stalls_surface_with_one_mask() {
         let cfg = SenssConfig::paper_default(2).with_masks(1);
         let mut e = SenssExtension::new(cfg);
-        assert_eq!(e.transfer_start_delay(&c2c_txn(0), 0), 0);
-        let stall = e.transfer_start_delay(&c2c_txn(1), 10);
+        assert_eq!(e.transfer_start_delay(&c2c_txn(0), 0, &mut tr()), 0);
+        let stall = e.transfer_start_delay(&c2c_txn(1), 10, &mut tr());
         assert_eq!(stall, 70, "second transfer waits out the AES latency");
+    }
+
+    #[test]
+    fn shu_events_reach_a_live_tracer() {
+        use senss_trace::{RingSink, TraceEvent};
+        let cfg = SenssConfig::paper_default(2).with_auth_interval(1);
+        let mut e = SenssExtension::new(cfg);
+        let mut sink = RingSink::new();
+        let mut tracer = Tracer::of(&mut sink);
+        e.transfer_start_delay(&c2c_txn(0), 5, &mut tracer);
+        let followups = e.transaction_complete(&c2c_txn(0), 9, &mut tracer);
+        assert_eq!(followups.len(), 1, "interval of 1 fires auth immediately");
+        let events: Vec<_> = sink.events().copied().collect();
+        assert_eq!(events.len(), 2);
+        match events[0] {
+            TraceEvent::ShuEncrypt { time, pid, stall, .. } => {
+                assert_eq!(time, 5);
+                assert_eq!(pid, 0);
+                assert_eq!(stall, 0);
+            }
+            other => panic!("expected ShuEncrypt, got {other:?}"),
+        }
+        match events[1] {
+            TraceEvent::ShuVerify {
+                time, auth_round, ..
+            } => {
+                assert_eq!(time, 9);
+                assert_eq!(auth_round, 1, "round number is 1-based");
+            }
+            other => panic!("expected ShuVerify, got {other:?}"),
+        }
     }
 
     #[test]
@@ -394,7 +455,7 @@ mod tests {
         let cfg = SenssConfig::paper_default(2).with_perfect_masks();
         let mut e = SenssExtension::new(cfg);
         for t in 0..100 {
-            assert_eq!(e.transfer_start_delay(&c2c_txn(0), t), 0);
+            assert_eq!(e.transfer_start_delay(&c2c_txn(0), t, &mut tr()), 0);
         }
     }
 
@@ -417,7 +478,7 @@ mod tests {
             supplier: Supplier::None,
             granted_at: 0,
         };
-        e.transaction_complete(&wb, 0);
+        e.transaction_complete(&wb, 0, &mut tr());
         assert!(e.pad_request_needed(1, 0x1000));
         assert_eq!(e.stats().pad_requests, 1);
     }
@@ -449,7 +510,7 @@ mod tests {
         // Three transfers inside group 0 -> exactly one auth (after 2).
         let mut auths = Vec::new();
         for _ in 0..3 {
-            for f in e.transaction_complete(&c2c_txn(0), 0) {
+            for f in e.transaction_complete(&c2c_txn(0), 0, &mut tr()) {
                 if let FollowUp::Auth { initiator } = f {
                     auths.push(initiator);
                 }
@@ -468,7 +529,7 @@ mod tests {
             supplier: Supplier::Cache(3),
             granted_at: 0,
         };
-        assert!(e.transaction_complete(&t, 0).is_empty());
+        assert!(e.transaction_complete(&t, 0, &mut tr()).is_empty());
     }
 
     #[test]
@@ -487,7 +548,7 @@ mod tests {
             granted_at: 0,
         };
         for _ in 0..4 {
-            for f in e.transaction_complete(&t, 0) {
+            for f in e.transaction_complete(&t, 0, &mut tr()) {
                 if let FollowUp::Auth { initiator } = f {
                     assert!(initiator == 2 || initiator == 3);
                 }
@@ -503,7 +564,7 @@ mod tests {
             );
             let mut stall = 0;
             for i in 0..200u64 {
-                stall += e.transfer_start_delay(&c2c_txn(0), i * 10);
+                stall += e.transfer_start_delay(&c2c_txn(0), i * 10, &mut tr());
             }
             stall
         };

@@ -84,6 +84,18 @@ impl AesUnit {
         self.issued = 0;
     }
 
+    /// The earliest cycle the next issue may start (checkpoint capture).
+    pub fn next_issue_slot(&self) -> u64 {
+        self.next_issue_slot
+    }
+
+    /// Re-imposes captured pipeline occupancy (checkpoint restore); the
+    /// latency and initiation interval come from configuration.
+    pub fn restore_state(&mut self, next_issue_slot: u64, issued: u64) {
+        self.next_issue_slot = next_issue_slot;
+        self.issued = issued;
+    }
+
     /// The §4.4 formula: number of masks needed to fully hide the unit's
     /// latency behind back-to-back bus transfers with the given bus cycle
     /// time: `ceil(latency / bus_cycle)`.

@@ -18,10 +18,11 @@
 use crate::json::{self, Value};
 use crate::record::{decode_stats, encode_stats};
 use senss_sim::Stats;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 
 /// The on-disk cache file name inside the cache directory.
 pub const CACHE_FILE: &str = "cache.jsonl";
@@ -75,6 +76,9 @@ impl ResultCache {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
+        if skipped > 0 {
+            warn_corrupt_once(&path, skipped);
+        }
         Ok(ResultCache {
             path,
             entries,
@@ -114,6 +118,26 @@ impl ResultCache {
         writeln!(f, "{line}")?;
         self.entries.insert(key.to_string(), stats.clone());
         Ok(())
+    }
+}
+
+/// Warns about corrupt lines at most once per cache file per process.
+/// Long-running hosts (`senss-serve`) reopen the same cache for every
+/// sweep; a damaged file would otherwise spam one warning per job
+/// submission. The count still reaches callers through
+/// [`ResultCache::skipped`] on every open.
+fn warn_corrupt_once(path: &Path, skipped: usize) {
+    static WARNED: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    let warned = WARNED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut warned = warned
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if warned.insert(path.to_path_buf()) {
+        eprintln!(
+            "harness: skipped {skipped} corrupt cache line(s) in {}; \
+             affected jobs will re-execute (warning shown once per file)",
+            path.display()
+        );
     }
 }
 

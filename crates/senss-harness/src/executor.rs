@@ -14,6 +14,7 @@ use crate::cache::ResultCache;
 use crate::record::RunRecord;
 use crate::spec::{JobSpec, SweepSpec};
 use senss_sim::Stats;
+use senss_snapshot::Snapshot;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -39,6 +40,16 @@ pub struct HarnessConfig {
     /// Where trace artifacts of captured jobs are written (`None`
     /// disables capture even for jobs that request it).
     pub trace_dir: Option<PathBuf>,
+    /// Warm-start forking: sweep points identical except for
+    /// `ops_per_core` share their simulated prefix by forking one
+    /// checkpoint instead of re-simulating it. Results are
+    /// bit-identical to cold runs (and cached under the same keys);
+    /// only wall-clock changes.
+    pub warm_start: bool,
+    /// Checkpoint period in simulated cycles. When set, uncaptured jobs
+    /// snapshot every `n` cycles and a panicking attempt resumes from
+    /// the last good checkpoint instead of cycle 0.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl HarnessConfig {
@@ -51,6 +62,10 @@ impl HarnessConfig {
     /// * `HARNESS_CYCLE_BUDGET` — per-job simulated-cycle budget
     ///   (default: none);
     /// * `HARNESS_NO_CACHE` — any value disables the result cache;
+    /// * `HARNESS_WARM_START` — any value but `0` enables warm-start
+    ///   forking of ops-per-core sweeps (default off);
+    /// * `HARNESS_CHECKPOINT_CYCLES` — checkpoint period in simulated
+    ///   cycles for resumable runs (default: no checkpoints);
     /// * cache lives under `results/cache/`, records under
     ///   `results/records/`.
     ///
@@ -91,6 +106,9 @@ impl HarnessConfig {
             },
             records_dir: Some(PathBuf::from("results/records")),
             trace_dir: Some(PathBuf::from("results/traces")),
+            warm_start: lookup("HARNESS_WARM_START").map(|v| v != "0").unwrap_or(false),
+            checkpoint_every: lookup("HARNESS_CHECKPOINT_CYCLES")
+                .map(|v| parsed::<u64>("HARNESS_CHECKPOINT_CYCLES", &v)),
         }
     }
 
@@ -105,6 +123,8 @@ impl HarnessConfig {
             cache_dir: None,
             records_dir: None,
             trace_dir: None,
+            warm_start: false,
+            checkpoint_every: None,
         }
     }
 
@@ -147,6 +167,18 @@ impl HarnessConfig {
     /// Sets the trace-artifact directory.
     pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> HarnessConfig {
         self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables or disables warm-start forking.
+    pub fn with_warm_start(mut self, on: bool) -> HarnessConfig {
+        self.warm_start = on;
+        self
+    }
+
+    /// Sets the checkpoint period for resumable runs (cycles).
+    pub fn with_checkpoint_every(mut self, cycles: u64) -> HarnessConfig {
+        self.checkpoint_every = Some(cycles);
         self
     }
 }
@@ -212,6 +244,15 @@ pub struct SweepResult {
     pub executed: usize,
     /// Jobs served from the cache.
     pub cached: usize,
+    /// Jobs whose result came from a warm-start fork (a subset of
+    /// `executed`): their shared prefix was restored from a checkpoint
+    /// instead of re-simulated.
+    pub forked: usize,
+    /// Corrupt or truncated cache lines skipped while opening the
+    /// result cache for this sweep (0 when the cache is off). Non-zero
+    /// means the on-disk cache was damaged and some hits degraded to
+    /// re-executions.
+    pub cache_skipped: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time for the whole sweep.
@@ -280,6 +321,8 @@ impl SweepResult {
             failures: Vec::new(),
             executed,
             cached,
+            forked: 0,
+            cache_skipped: 0,
             workers,
             wall,
             by_spec,
@@ -288,8 +331,13 @@ impl SweepResult {
 
     /// One-line human summary (the binaries print this to stderr).
     pub fn summary(&self) -> String {
+        let forked = if self.forked > 0 {
+            format!(" ({} warm-forked)", self.forked)
+        } else {
+            String::new()
+        };
         format!(
-            "harness[{}]: {} executed, {} cached, {} failed on {} worker{} in {:.2?}",
+            "harness[{}]: {} executed{forked}, {} cached, {} failed on {} worker{} in {:.2?}",
             self.name,
             self.executed,
             self.cached,
@@ -309,8 +357,17 @@ enum WorkerMsg {
         worker: usize,
         attempts: u32,
         trace_artifact: Option<String>,
+        forked: bool,
     },
     Failed(JobFailure),
+}
+
+/// A unit of work on the dispatch queue: either one job, or a
+/// warm-start fork group (indices sorted by ascending ops-per-core)
+/// whose members share a simulated prefix.
+enum WorkItem {
+    Single(usize),
+    Group(Vec<usize>),
 }
 
 /// The sweep executor.
@@ -338,42 +395,51 @@ impl Harness {
     /// their [`RunRecord::trace_artifact`].
     pub fn run(&self, sweep: &SweepSpec) -> std::io::Result<SweepResult> {
         let trace_dir = self.cfg.trace_dir.clone();
-        self.run_rich(sweep, move |spec| match (spec.capture, &trace_dir) {
-            (Some(capture), Some(dir)) => capture_run(spec, capture, dir),
-            _ => (spec.run(), None),
-        })
+        let checkpoint_every = self.cfg.checkpoint_every;
+        let max_attempts = self.cfg.max_attempts;
+        self.run_rich(
+            sweep,
+            move |spec| match (spec.capture, &trace_dir) {
+                (Some(capture), Some(dir)) => capture_run(spec, capture, dir),
+                _ => match checkpoint_every {
+                    Some(every) => (resumable_run(spec, every, max_attempts), None),
+                    None => (spec.run(), None),
+                },
+            },
+            self.cfg.warm_start,
+        )
     }
 
     /// Runs the sweep with a caller-supplied job runner. Used by the
     /// fault-injection tests; the runner must be deterministic for the
-    /// cache to be meaningful. Custom runners never capture traces.
+    /// cache to be meaningful. Custom runners never capture traces,
+    /// and warm-start forking is disabled (the executor cannot fork
+    /// what an arbitrary runner computes).
     pub fn run_with<F>(&self, sweep: &SweepSpec, runner: F) -> std::io::Result<SweepResult>
     where
         F: Fn(&JobSpec) -> Stats + Sync,
     {
-        self.run_rich(sweep, |spec| (runner(spec), None))
+        self.run_rich(sweep, |spec| (runner(spec), None), false)
     }
 
-    fn run_rich<F>(&self, sweep: &SweepSpec, runner: F) -> std::io::Result<SweepResult>
+    fn run_rich<F>(
+        &self,
+        sweep: &SweepSpec,
+        runner: F,
+        warm_start: bool,
+    ) -> std::io::Result<SweepResult>
     where
         F: Fn(&JobSpec) -> (Stats, Option<String>) + Sync,
     {
         let started = Instant::now();
+        // Corrupt-line warnings are emitted (once per file) by
+        // `ResultCache::open` itself; here we only carry the count into
+        // the result so hosts like senss-serve can surface it.
         let mut cache = match &self.cfg.cache_dir {
-            Some(dir) => {
-                let cache = ResultCache::open(dir)?;
-                if cache.skipped() > 0 {
-                    eprintln!(
-                        "harness: skipped {} corrupt cache line(s) in {}; \
-                         affected jobs will re-execute",
-                        cache.skipped(),
-                        dir.display()
-                    );
-                }
-                Some(cache)
-            }
+            Some(dir) => Some(ResultCache::open(dir)?),
             None => None,
         };
+        let cache_skipped = cache.as_ref().map_or(0, ResultCache::skipped);
 
         // Partition into cache hits and jobs that must execute.
         let keys: Vec<String> = sweep.jobs.iter().map(JobSpec::cache_key).collect();
@@ -408,9 +474,15 @@ impl Harness {
         let to_execute = pending.len();
 
         let mut failures: Vec<JobFailure> = Vec::new();
+        let mut forked = 0usize;
         if !pending.is_empty() {
-            let workers = self.cfg.workers.max(1).min(pending.len());
-            let queue = Mutex::new(pending);
+            let items = if warm_start {
+                plan_fork_groups(&sweep.jobs, &pending)
+            } else {
+                pending.into_iter().map(WorkItem::Single).collect()
+            };
+            let workers = self.cfg.workers.max(1).min(items.len());
+            let queue = Mutex::new(items);
             let (tx, rx) = mpsc::channel::<WorkerMsg>();
             let jobs = &sweep.jobs;
             let cfg = &self.cfg;
@@ -422,10 +494,10 @@ impl Harness {
                     scope.spawn(move || {
                         loop {
                             // Recover the queue even if a sibling worker
-                        // panicked while holding the lock: the indices
+                        // panicked while holding the lock: the items
                         // inside are still sound, and abandoning them
                         // would silently truncate the sweep.
-                        let index = match queue
+                        let item = match queue
                             .lock()
                             .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .pop_front()
@@ -433,8 +505,15 @@ impl Harness {
                                 Some(i) => i,
                                 None => break,
                             };
-                            let msg = run_one(cfg, runner, &jobs[index], index, worker);
-                            if tx.send(msg).is_err() {
+                            let msgs = match item {
+                                WorkItem::Single(index) => {
+                                    vec![run_one(cfg, runner, &jobs[index], index, worker)]
+                                }
+                                WorkItem::Group(indices) => {
+                                    run_fork_group(cfg, runner, jobs, &indices, worker)
+                                }
+                            };
+                            if msgs.into_iter().any(|m| tx.send(m).is_err()) {
                                 break;
                             }
                         }
@@ -452,7 +531,9 @@ impl Harness {
                             worker,
                             attempts,
                             trace_artifact,
+                            forked: was_forked,
                         } => {
+                            forked += was_forked as usize;
                             if let Some(c) = cache.as_mut() {
                                 // Append errors are demoted to warnings:
                                 // losing a cache entry never loses a run.
@@ -490,6 +571,8 @@ impl Harness {
             failures,
             executed: to_execute,
             cached,
+            forked,
+            cache_skipped,
             workers: self.cfg.workers.max(1),
             wall: started.elapsed(),
             by_spec,
@@ -569,6 +652,234 @@ fn capture_run(
     }
 }
 
+/// Partitions pending job indices into warm-start fork groups.
+///
+/// A group is two or more uncaptured jobs that are identical except for
+/// `ops_per_core` — they simulate the same prefix, so one checkpoint
+/// can seed them all. Everything else stays a [`WorkItem::Single`].
+/// First-occurrence order is preserved so scheduling stays
+/// deterministic.
+fn plan_fork_groups(jobs: &[JobSpec], pending: &VecDeque<usize>) -> VecDeque<WorkItem> {
+    let mut groups: HashMap<JobSpec, Vec<usize>> = HashMap::new();
+    let mut order: Vec<JobSpec> = Vec::new();
+    for &index in pending {
+        let spec = &jobs[index];
+        // Captured jobs must stream events from cycle 0, so they never
+        // join a group.
+        if spec.capture.is_some() {
+            continue;
+        }
+        let key = JobSpec {
+            ops_per_core: 0,
+            ..*spec
+        };
+        let entry = groups.entry(key).or_default();
+        if entry.is_empty() {
+            order.push(key);
+        }
+        entry.push(index);
+    }
+    let mut grouped: HashMap<JobSpec, Vec<usize>> = HashMap::new();
+    for key in &order {
+        let members = &groups[key];
+        if members.len() >= 2 {
+            let mut sorted = members.clone();
+            sorted.sort_by_key(|&i| (jobs[i].ops_per_core, i));
+            grouped.insert(*key, sorted);
+        }
+    }
+    let mut items = VecDeque::new();
+    let mut emitted: HashMap<JobSpec, bool> = HashMap::new();
+    for &index in pending {
+        let spec = &jobs[index];
+        let key = JobSpec {
+            ops_per_core: 0,
+            ..*spec
+        };
+        match (spec.capture.is_none()).then(|| grouped.get(&key)).flatten() {
+            Some(members) => {
+                // Emit the whole group at the first member's position.
+                if !emitted.get(&key).copied().unwrap_or(false) {
+                    emitted.insert(key, true);
+                    items.push_back(WorkItem::Group(members.clone()));
+                }
+            }
+            None => items.push_back(WorkItem::Single(index)),
+        }
+    }
+    items
+}
+
+/// Executes a warm-start fork group, falling back to individual cold
+/// runs if the prefix-sharing assumption does not hold (non-prefix
+/// trace generator, too-short runs, or a panic).
+fn run_fork_group<F>(
+    cfg: &HarnessConfig,
+    runner: &F,
+    jobs: &[JobSpec],
+    indices: &[usize],
+    worker: usize,
+) -> Vec<WorkerMsg>
+where
+    F: Fn(&JobSpec) -> (Stats, Option<String>) + Sync,
+{
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| warm_start_group(jobs, indices)));
+    let results = match outcome {
+        Ok(Ok(results)) => results,
+        Ok(Err(reason)) => {
+            eprintln!("harness: warm-start fork unavailable ({reason}); running group cold");
+            return indices
+                .iter()
+                .map(|&i| run_one(cfg, runner, &jobs[i], i, worker))
+                .collect();
+        }
+        Err(payload) => {
+            eprintln!(
+                "harness: warm-start fork panicked ({}); running group cold",
+                panic_message(payload.as_ref())
+            );
+            return indices
+                .iter()
+                .map(|&i| run_one(cfg, runner, &jobs[i], i, worker))
+                .collect();
+        }
+    };
+    let wall_micros = started.elapsed().as_micros() as u64;
+    results
+        .into_iter()
+        .map(|(index, stats, forked)| match cfg.cycle_budget {
+            Some(budget) if stats.total_cycles > budget => WorkerMsg::Failed(JobFailure {
+                index,
+                spec: jobs[index],
+                error: JobError::CycleBudgetExceeded {
+                    cycles: stats.total_cycles,
+                    budget,
+                },
+                attempts: 1,
+            }),
+            _ => WorkerMsg::Done {
+                index,
+                stats,
+                wall_micros,
+                worker,
+                attempts: 1,
+                trace_artifact: None,
+                forked,
+            },
+        })
+        .collect()
+}
+
+/// Runs a fork group: the shortest member cold (to learn how long the
+/// shared prefix safely is), the longest member cold with a checkpoint
+/// captured mid-prefix, and every other member by forking that
+/// checkpoint onto its own (longer-or-equal) traces.
+///
+/// Returns `(index, stats, was_forked)` per member. Errors mean the
+/// group must fall back to cold runs; determinism guarantees the
+/// fallback produces the same stats.
+fn warm_start_group(
+    jobs: &[JobSpec],
+    indices: &[usize],
+) -> Result<Vec<(usize, Stats, bool)>, String> {
+    let shortest = &jobs[indices[0]];
+    let short_stats = shortest.build_system().run();
+    // No core may run dry before the fork point in ANY member, and
+    // every member has at least as many ops as the shortest, so any
+    // cycle strictly before the shortest run's first core finish is a
+    // shared prefix. 3/4 of it amortizes most of the win while keeping
+    // a safety margin.
+    let f_min = short_stats
+        .core_finish_times
+        .iter()
+        .copied()
+        .min()
+        .unwrap_or(0);
+    let fork_at = f_min.saturating_mul(3) / 4;
+    let mut out = vec![(indices[0], short_stats, false)];
+    if fork_at == 0 {
+        return Err("prefix too short to fork".into());
+    }
+    let last = *indices.last().expect("groups have >= 2 members");
+    let mut sys = jobs[last].build_system();
+    sys.run_until(fork_at);
+    let snap = Snapshot::capture(&sys, fork_at);
+    out.push((last, sys.finish(), false));
+    for &index in &indices[1..indices.len() - 1] {
+        let mut fork = snap.clone();
+        fork.replace_traces(jobs[index].traces())
+            .map_err(|e| format!("job {index}: {e}"))?;
+        let stats = fork.restore(jobs[index].build_extension()).finish();
+        out.push((index, stats, true));
+    }
+    Ok(out)
+}
+
+/// Runs a job with a checkpoint captured every `every` simulated
+/// cycles. A panicking attempt resumes from the last good checkpoint
+/// instead of cycle 0; after `max_attempts` total attempts the final
+/// panic propagates (so [`run_one`]'s failure accounting sees it).
+///
+/// Checkpoints round-trip through [`Snapshot::encode`]/[`decode`] on
+/// every resume, so a resumed run exercises exactly the path a
+/// persisted checkpoint would take.
+///
+/// [`decode`]: Snapshot::decode
+fn resumable_run(spec: &JobSpec, every: u64, max_attempts: u32) -> Stats {
+    resumable_run_with_probe(spec, every, max_attempts, &Mutex::new(|_| {}))
+}
+
+/// [`resumable_run`] with a fault-injection probe called after each
+/// checkpoint is stored (tests panic inside it to exercise resume).
+fn resumable_run_with_probe(
+    spec: &JobSpec,
+    every: u64,
+    max_attempts: u32,
+    probe: &Mutex<impl FnMut(u64)>,
+) -> Stats {
+    let every = every.max(1);
+    let checkpoint: Mutex<Option<String>> = Mutex::new(None);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let resume = checkpoint
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone();
+            let (mut sys, mut bound) = match resume {
+                Some(text) => {
+                    let snap = Snapshot::decode(&text)
+                        .expect("a checkpoint this process encoded must decode");
+                    let bound = snap.cycle() + every;
+                    (snap.restore(spec.build_extension()), bound)
+                }
+                None => (spec.build_system(), every),
+            };
+            while sys.run_until(bound) {
+                let snap = Snapshot::capture(&sys, bound);
+                *checkpoint
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(snap.encode());
+                (probe
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner))(bound);
+                bound += every;
+            }
+            sys.finish()
+        }));
+        match result {
+            Ok(stats) => return stats,
+            Err(payload) => {
+                if attempts >= max_attempts {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
 fn run_one<F>(
     cfg: &HarnessConfig,
     runner: &F,
@@ -598,6 +909,7 @@ where
                         worker,
                         attempts,
                         trace_artifact,
+                        forked: false,
                     }
                 }
             },
@@ -700,5 +1012,109 @@ mod tests {
         HarnessConfig::from_lookup(|key| {
             (key == "HARNESS_WORKERS").then(|| "-2".to_string())
         });
+    }
+
+    #[test]
+    fn snapshot_knobs_parse_from_lookup() {
+        let cfg = HarnessConfig::from_lookup(|key| match key {
+            "HARNESS_WARM_START" => Some("1".to_string()),
+            "HARNESS_CHECKPOINT_CYCLES" => Some("50000".to_string()),
+            _ => None,
+        });
+        assert!(cfg.warm_start);
+        assert_eq!(cfg.checkpoint_every, Some(50_000));
+        let off = HarnessConfig::from_lookup(|key| {
+            (key == "HARNESS_WARM_START").then(|| "0".to_string())
+        });
+        assert!(!off.warm_start);
+        assert_eq!(off.checkpoint_every, None);
+    }
+
+    fn ops_sweep(ops: &[usize]) -> SweepSpec {
+        let mut sweep = SweepSpec::new("");
+        for &n in ops {
+            sweep.push(
+                JobSpec::new(Workload::Fft, 2, 1 << 20)
+                    .with_mode(SecurityMode::senss())
+                    .with_ops(n),
+            );
+        }
+        sweep
+    }
+
+    #[test]
+    fn warm_start_matches_cold_runs_bit_for_bit() {
+        let sweep = ops_sweep(&[400, 700, 1_000, 1_300]);
+        let cold = Harness::new(HarnessConfig::hermetic()).run(&sweep).unwrap();
+        let warm = Harness::new(HarnessConfig::hermetic().with_warm_start(true))
+            .run(&sweep)
+            .unwrap();
+        assert!(cold.is_complete() && warm.is_complete());
+        assert!(warm.forked >= 2, "middle points must be forked, got {}", warm.forked);
+        assert_eq!(cold.forked, 0);
+        for job in &sweep.jobs {
+            assert_eq!(cold.require(job), warm.require(job), "{job:?}");
+        }
+    }
+
+    #[test]
+    fn warm_start_leaves_singletons_and_captures_alone() {
+        use crate::spec::TraceCapture;
+        let mut sweep = ops_sweep(&[400]);
+        sweep.push(
+            JobSpec::new(Workload::Lu, 2, 1 << 20)
+                .with_ops(400)
+                .with_capture(TraceCapture::Jsonl),
+        );
+        // No trace_dir in hermetic(), so the capture request is inert,
+        // but the planner must still keep the job out of any group.
+        let result = Harness::new(HarnessConfig::hermetic().with_warm_start(true))
+            .run(&sweep)
+            .unwrap();
+        assert!(result.is_complete());
+        assert_eq!(result.forked, 0);
+    }
+
+    #[test]
+    fn checkpointed_runs_match_plain_runs() {
+        let sweep = ops_sweep(&[600]);
+        let plain = Harness::new(HarnessConfig::hermetic()).run(&sweep).unwrap();
+        let chk = Harness::new(HarnessConfig::hermetic().with_checkpoint_every(10_000))
+            .run(&sweep)
+            .unwrap();
+        assert_eq!(plain.require(&sweep.jobs[0]), chk.require(&sweep.jobs[0]));
+    }
+
+    #[test]
+    fn a_fault_mid_run_resumes_from_the_last_checkpoint() {
+        let spec = JobSpec::new(Workload::Fft, 2, 1 << 20)
+            .with_mode(SecurityMode::senss())
+            .with_ops(600);
+        let expected = spec.run();
+        let every = expected.total_cycles / 5;
+        let mut fired = false;
+        let mut resumed_from = None;
+        let probe = Mutex::new(move |cycle: u64| {
+            if !fired && cycle >= 2 * every {
+                fired = true;
+                panic!("injected fault at cycle {cycle}");
+            }
+            if fired && resumed_from.is_none() {
+                resumed_from = Some(cycle);
+                // The resumed attempt must start from the surviving
+                // checkpoint, not from cycle 0.
+                assert!(cycle > every, "resumed attempt re-ran from scratch");
+            }
+        });
+        let stats = resumable_run_with_probe(&spec, every, 3, &probe);
+        assert_eq!(stats, expected, "resume must not change the result");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn resumable_run_gives_up_after_max_attempts() {
+        let spec = JobSpec::new(Workload::Fft, 2, 1 << 20).with_ops(600);
+        let probe = Mutex::new(|_cycle: u64| panic!("injected fault"));
+        resumable_run_with_probe(&spec, 5_000, 2, &probe);
     }
 }

@@ -25,7 +25,12 @@ use senss_workloads::{micro, Workload};
 /// Bumped whenever the meaning of cached results changes (simulator
 /// semantics, stats layout, canonical-form layout). Part of every cache
 /// key, so a bump invalidates the whole cache at once.
-pub const CACHE_FORMAT: u32 = 1;
+///
+/// The snapshot format version ([`senss_snapshot::FORMAT_VERSION`]) is
+/// folded in alongside: warm-started sweep points are produced by
+/// forking checkpoints, so a change to checkpoint semantics must
+/// invalidate cached results exactly like a simulator change would.
+pub const CACHE_FORMAT: u32 = 2;
 
 /// Which security stack the job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -345,7 +350,10 @@ impl JobSpec {
         SystemConfig::e6000(self.cores, self.l2_bytes).with_coherence(self.coherence)
     }
 
-    fn traces(&self) -> Vec<VecTrace> {
+    /// Materializes the per-core traces this job simulates. Public so
+    /// checkpoint forking ([`crate::executor`], `snapshot_bench`) can
+    /// swap a longer trace set into a captured prefix.
+    pub fn traces(&self) -> Vec<VecTrace> {
         match self.trace {
             TraceSpec::Workload(w) => w.generate(self.cores, self.ops_per_core, self.seed),
             TraceSpec::FalseSharing => {
@@ -365,6 +373,50 @@ impl JobSpec {
             .with_masks(masks)
             .with_auth_interval(auth_interval)
             .with_cipher(cipher)
+    }
+
+    /// Builds the security extension for this job's mode, boxed so
+    /// checkpoint capture/restore paths handle every mode as one
+    /// concrete `System<Box<dyn Extension>>` type. Dynamic dispatch
+    /// changes no arithmetic: stats stay bit-identical to
+    /// [`run`](JobSpec::run).
+    pub fn build_extension(&self) -> Box<dyn senss_sim::Extension> {
+        match self.mode {
+            SecurityMode::Baseline => Box::new(NullExtension),
+            SecurityMode::Senss {
+                masks,
+                auth_interval,
+                cipher,
+            } => Box::new(SenssExtension::new(
+                self.senss_config(masks, auth_interval, cipher),
+            )),
+            SecurityMode::Integrated {
+                masks,
+                auth_interval,
+                cipher,
+            } => {
+                let policy = MemProtPolicy::new(MemProtConfig::paper_default(self.cores));
+                Box::new(
+                    SenssExtension::new(self.senss_config(masks, auth_interval, cipher))
+                        .with_memory_protection(policy),
+                )
+            }
+        }
+    }
+
+    /// Builds an untraced, unstarted simulator for this job — the entry
+    /// point for checkpoint-aware execution ([`System::run_until`] /
+    /// [`System::checkpoint_at`]).
+    pub fn build_system(&self) -> System<Box<dyn senss_sim::Extension>> {
+        System::new(self.system_config(), self.traces(), self.build_extension())
+    }
+
+    /// [`build_system`](JobSpec::build_system) with a live trace sink.
+    pub fn build_system_with_sink<S: TraceSink>(
+        &self,
+        sink: S,
+    ) -> System<Box<dyn senss_sim::Extension>, S> {
+        System::with_sink(self.system_config(), self.traces(), self.build_extension(), sink)
     }
 
     /// Executes the job synchronously, returning the run's [`Stats`].
@@ -455,8 +507,9 @@ impl JobSpec {
     pub fn canonical(&self) -> String {
         let c = self.system_config();
         let coherence = coherence_tag(c.coherence);
+        let snap = senss_snapshot::FORMAT_VERSION;
         format!(
-            "v{CACHE_FORMAT}|trace={}|mode={}|ops={}|seed={}|p={}|l1={}:{}:{}:{}|l2={}:{}:{}:{}|\
+            "v{CACHE_FORMAT}.{snap}|trace={}|mode={}|ops={}|seed={}|p={}|l1={}:{}:{}:{}|l2={}:{}:{}:{}|\
              lat={}:{}|bus={}:{}|crypto={}:{}|coh={coherence}",
             self.trace.tag(),
             self.mode.tag(),

@@ -133,6 +133,53 @@ impl PadDirectory {
         }
     }
 
+    /// Checkpoint capture: `(lines as (addr, holder bitmask, written)
+    /// sorted by addr, broadcasts, requests)`. Sorted so equal
+    /// directories always export identically regardless of `HashMap`
+    /// iteration order.
+    pub fn export_state(&self) -> (Vec<(u64, u64, bool)>, u64, u64) {
+        let mut lines: Vec<(u64, u64, bool)> = self
+            .lines
+            .iter()
+            .map(|(&addr, line)| (addr, line.holders as u64, line.written))
+            .collect();
+        lines.sort_unstable();
+        (lines, self.broadcasts, self.requests)
+    }
+
+    /// Checkpoint restore onto a configuration-identical directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a holder bitmask references a processor outside this
+    /// directory's range.
+    pub fn restore_state(&mut self, lines: &[(u64, u64, bool)], broadcasts: u64, requests: u64) {
+        let all = if self.num_processors == 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << self.num_processors) - 1
+        };
+        self.lines = lines
+            .iter()
+            .map(|&(addr, holders, written)| {
+                assert!(
+                    holders <= all,
+                    "snapshot pad holders {holders:#x} exceed {} processors",
+                    self.num_processors
+                );
+                (
+                    addr,
+                    PadLine {
+                        holders: holders as u32,
+                        written,
+                    },
+                )
+            })
+            .collect();
+        self.broadcasts = broadcasts;
+        self.requests = requests;
+    }
+
     /// Pad broadcasts (invalidates or updates) so far.
     pub fn broadcasts(&self) -> u64 {
         self.broadcasts

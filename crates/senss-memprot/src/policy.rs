@@ -172,6 +172,82 @@ impl MemProtPolicy {
         }
     }
 
+    /// Appends the policy's mutable state to a checkpoint key/value list
+    /// (the `mp.` namespace of the extension snapshot format). Keys are
+    /// stable, unique and whitespace-free; list entries are emitted in
+    /// sorted order so equal policies always snapshot identically.
+    pub fn snapshot_into(&self, out: &mut Vec<(String, u64)>) {
+        out.push(("mp.lazy_reads".into(), self.lazy_reads));
+        out.push(("mp.lazy_writes".into(), self.lazy_writes));
+        let (entries, clock, hits, misses) = self.snc.export_state();
+        out.push(("mp.snc.clock".into(), clock));
+        out.push(("mp.snc.hits".into(), hits));
+        out.push(("mp.snc.misses".into(), misses));
+        out.push(("mp.snc.len".into(), entries.len() as u64));
+        for (i, (line, seq, last_use)) in entries.iter().enumerate() {
+            out.push((format!("mp.snc.{i}.line"), *line));
+            out.push((format!("mp.snc.{i}.seq"), *seq));
+            out.push((format!("mp.snc.{i}.lu"), *last_use));
+        }
+        let (lines, broadcasts, requests) = self.pads.export_state();
+        out.push(("mp.pad.bcasts".into(), broadcasts));
+        out.push(("mp.pad.reqs".into(), requests));
+        out.push(("mp.pad.len".into(), lines.len() as u64));
+        for (i, (addr, holders, written)) in lines.iter().enumerate() {
+            out.push((format!("mp.pad.{i}.addr"), *addr));
+            out.push((format!("mp.pad.{i}.hold"), *holders));
+            out.push((format!("mp.pad.{i}.wr"), *written as u64));
+        }
+    }
+
+    /// Restores the policy's mutable state from a checkpoint key lookup
+    /// (the inverse of [`MemProtPolicy::snapshot_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any missing key — a truncated or mismatched snapshot
+    /// fails loudly.
+    pub fn restore_from(&mut self, state: &std::collections::BTreeMap<&str, u64>) {
+        let get = |k: String| -> u64 {
+            *state
+                .get(k.as_str())
+                .unwrap_or_else(|| panic!("snapshot missing key {k}"))
+        };
+        self.lazy_reads = get("mp.lazy_reads".into());
+        self.lazy_writes = get("mp.lazy_writes".into());
+        let snc_len = get("mp.snc.len".into()) as usize;
+        let entries: Vec<(u64, u64, u64)> = (0..snc_len)
+            .map(|i| {
+                (
+                    get(format!("mp.snc.{i}.line")),
+                    get(format!("mp.snc.{i}.seq")),
+                    get(format!("mp.snc.{i}.lu")),
+                )
+            })
+            .collect();
+        self.snc.restore_state(
+            &entries,
+            get("mp.snc.clock".into()),
+            get("mp.snc.hits".into()),
+            get("mp.snc.misses".into()),
+        );
+        let pad_len = get("mp.pad.len".into()) as usize;
+        let lines: Vec<(u64, u64, bool)> = (0..pad_len)
+            .map(|i| {
+                (
+                    get(format!("mp.pad.{i}.addr")),
+                    get(format!("mp.pad.{i}.hold")),
+                    get(format!("mp.pad.{i}.wr")) != 0,
+                )
+            })
+            .collect();
+        self.pads.restore_state(
+            &lines,
+            get("mp.pad.bcasts".into()),
+            get("mp.pad.reqs".into()),
+        );
+    }
+
     /// Memory reads logged by lazy verification.
     pub fn lazy_reads(&self) -> u64 {
         self.lazy_reads

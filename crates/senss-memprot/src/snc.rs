@@ -99,6 +99,41 @@ impl SeqNumCache {
         next
     }
 
+    /// Checkpoint capture: `(entries as (line, seq, last_use) sorted by
+    /// line, clock, hits, misses)`. Sorted so equal caches always export
+    /// identically regardless of `HashMap` iteration order.
+    pub fn export_state(&self) -> (Vec<(u64, u64, u64)>, u64, u64, u64) {
+        let mut entries: Vec<(u64, u64, u64)> = self
+            .entries
+            .iter()
+            .map(|(&line, &(seq, last_use))| (line, seq, last_use))
+            .collect();
+        entries.sort_unstable();
+        (entries, self.clock, self.hits, self.misses)
+    }
+
+    /// Checkpoint restore onto a configuration-identical cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry count exceeds a finite cache's capacity.
+    pub fn restore_state(&mut self, entries: &[(u64, u64, u64)], clock: u64, hits: u64, misses: u64) {
+        if let Some(cap) = self.capacity {
+            assert!(
+                entries.len() <= cap,
+                "snapshot has {} SNC entries, capacity is {cap}",
+                entries.len()
+            );
+        }
+        self.entries = entries
+            .iter()
+            .map(|&(line, seq, last_use)| (line, (seq, last_use)))
+            .collect();
+        self.clock = clock;
+        self.hits = hits;
+        self.misses = misses;
+    }
+
     /// Lookup hits.
     pub fn hits(&self) -> u64 {
         self.hits

@@ -101,6 +101,16 @@ pub struct Metrics {
     pub jobs_cached: AtomicU64,
     /// Jobs that failed permanently inside completed sweeps.
     pub jobs_failed: AtomicU64,
+    /// Jobs whose result came from a warm-start checkpoint fork instead
+    /// of a cold re-simulation (a subset of `jobs_executed`).
+    pub jobs_forked: AtomicU64,
+    /// Corrupt or truncated result-cache lines skipped while opening
+    /// the cache (accumulated across sweeps; 0 when the cache is off or
+    /// healthy).
+    pub cache_lines_skipped: AtomicU64,
+    /// `trace` requests answered by restoring a retained mid-run
+    /// checkpoint instead of re-simulating from cycle 0.
+    pub trace_checkpoint_hits: AtomicU64,
     /// Current depth of the sweep queue (gauge).
     pub queue_depth: AtomicU64,
     /// High-water mark of the sweep queue.
@@ -187,6 +197,15 @@ impl Metrics {
             ("jobs_executed".to_string(), get(&self.jobs_executed)),
             ("jobs_cached".to_string(), get(&self.jobs_cached)),
             ("jobs_failed".to_string(), get(&self.jobs_failed)),
+            ("jobs_forked".to_string(), get(&self.jobs_forked)),
+            (
+                "cache_lines_skipped".to_string(),
+                get(&self.cache_lines_skipped),
+            ),
+            (
+                "trace_checkpoint_hits".to_string(),
+                get(&self.trace_checkpoint_hits),
+            ),
             ("queue_depth".to_string(), get(&self.queue_depth)),
             ("queue_depth_max".to_string(), get(&self.queue_depth_max)),
         ];

@@ -309,6 +309,84 @@ fn trace_requests_derive_metrics_and_classify_errors() {
 }
 
 #[test]
+fn repeat_traces_replay_from_a_checkpoint_byte_identically() {
+    let server = Server::start(ServerConfig::loopback()).unwrap();
+    let client = Client::new(server.addr().to_string());
+    let mut sweep = SweepSpec::new("retraced");
+    sweep.push(
+        JobSpec::new(Workload::Fft, 2, 1 << 20)
+            .with_ops(400)
+            .with_mode(SecurityMode::senss()),
+    );
+    let (id, _) = client.submit(&sweep).expect("submit");
+    loop {
+        match client.status(id).expect("status").state {
+            SweepState::Done => break,
+            SweepState::Failed => panic!("sweep failed"),
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+
+    // First trace runs cold (and retains a mid-run checkpoint); the
+    // second restores that checkpoint and replays only the tail. The
+    // responses must be indistinguishable.
+    let cold = client.trace(id, 0).expect("first trace");
+    let warm = client.trace(id, 0).expect("second trace");
+    assert_eq!(
+        warm.encode(),
+        cold.encode(),
+        "checkpoint-replayed trace must be byte-identical to the cold one"
+    );
+    let third = client.trace(id, 0).expect("third trace");
+    assert_eq!(third.encode(), cold.encode());
+
+    let m = client.metrics().unwrap();
+    let get = |k: &str| m.get(k).and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(
+        get("trace_checkpoint_hits"),
+        2,
+        "second and third traces must be served from the retained checkpoint"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn corrupt_cache_lines_surface_in_metrics() {
+    // Pre-damage the result cache: the harness must skip the corrupt
+    // lines (re-executing those jobs) and the server must surface the
+    // skip count through the metrics response.
+    let dir = std::env::temp_dir().join(format!(
+        "senss-serve-corrupt-cache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("cache.jsonl"),
+        "not json at all\n{\"key\":\"half\n{\"key\":\"x\",\"stats\":{\"total_cycles\":1.5}}\n",
+    )
+    .unwrap();
+    let cfg = ServerConfig::loopback().with_harness(
+        HarnessConfig::hermetic()
+            .with_workers(2)
+            .with_cache_dir(&dir),
+    );
+    let server = Server::start(cfg).unwrap();
+    let client = Client::new(server.addr().to_string());
+    let sweep = small_sweep("damaged-cache", 11);
+    client.run(&sweep, Duration::from_millis(20)).expect("run");
+
+    let m = client.metrics().unwrap();
+    assert_eq!(
+        m.get("cache_lines_skipped").and_then(|v| v.as_u64()),
+        Some(3),
+        "all three corrupt lines must be reported"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    server.shutdown();
+}
+
+#[test]
 fn trace_of_an_unfinished_sweep_is_retriably_not_ready() {
     // A runner that blocks until released pins the sweep in Running, so
     // the trace request deterministically observes an unfinished sweep.

@@ -226,6 +226,51 @@ impl Arbiter {
         self.pending == 0
     }
 
+    /// Exact queue contents for checkpoint capture: per-processor queues
+    /// in pid order, the injected queue, and the round-robin cursor.
+    /// `pending` and the `nonempty` bitmask are derived, so they are
+    /// recomputed on import instead of being serialized.
+    pub(crate) fn export_state(&self) -> (Vec<Vec<BusRequest>>, Vec<BusRequest>, usize) {
+        (
+            self.queues
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
+            self.injected.iter().copied().collect(),
+            self.last_granted,
+        )
+    }
+
+    /// Restores state captured by [`Arbiter::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue count disagrees with this arbiter's
+    /// processor count.
+    pub(crate) fn import_state(
+        &mut self,
+        queues: Vec<Vec<BusRequest>>,
+        injected: Vec<BusRequest>,
+        last_granted: usize,
+    ) {
+        assert_eq!(
+            queues.len(),
+            self.queues.len(),
+            "snapshot arbiter has a different processor count"
+        );
+        self.pending = injected.len();
+        self.nonempty.fill(0);
+        for (pid, q) in queues.into_iter().enumerate() {
+            self.pending += q.len();
+            self.queues[pid] = q.into_iter().collect();
+            if !self.queues[pid].is_empty() {
+                self.mark_nonempty(pid);
+            }
+        }
+        self.injected = injected.into_iter().collect();
+        self.last_granted = last_granted;
+    }
+
     /// Grants the next request round-robin, starting after the last
     /// granted processor.
     pub fn grant(&mut self) -> Option<BusRequest> {

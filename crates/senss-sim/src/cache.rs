@@ -18,6 +18,10 @@ pub struct SetAssocCache<M> {
     use_clock: u64,
 }
 
+/// One exported line slot: `(tag, metadata, last_use, valid)` — the
+/// exact fields a checkpoint must carry per cache line.
+pub(crate) type LineSlotState<M> = (u64, M, u64, bool);
+
 #[derive(Debug, Clone)]
 struct LineSlot<M> {
     tag: u64,
@@ -191,6 +195,56 @@ impl<M> SetAssocCache<M> {
             .iter()
             .map(|s| s.iter().filter(|l| l.valid).count())
             .sum()
+    }
+
+    /// Exact internal state for checkpoint capture: the LRU clock plus
+    /// every set's slot array — including invalid slots, whose presence
+    /// affects future insert/grow decisions, so they must survive a
+    /// round-trip bit-for-bit.
+    pub(crate) fn export_state(&self) -> (u64, Vec<Vec<LineSlotState<M>>>)
+    where
+        M: Clone,
+    {
+        let sets = self
+            .sets
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .map(|l| (l.tag, l.meta.clone(), l.last_use, l.valid))
+                    .collect()
+            })
+            .collect();
+        (self.use_clock, sets)
+    }
+
+    /// Restores state captured by [`SetAssocCache::export_state`] into a
+    /// freshly-constructed cache of the same geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count disagrees with this cache's geometry
+    /// (a snapshot from a different configuration).
+    pub(crate) fn import_state(&mut self, use_clock: u64, sets: Vec<Vec<LineSlotState<M>>>) {
+        assert!(
+            sets.is_empty() || sets.len() == self.set_count,
+            "snapshot has {} sets, cache has {}",
+            sets.len(),
+            self.set_count
+        );
+        self.use_clock = use_clock;
+        self.sets = sets
+            .into_iter()
+            .map(|set| {
+                set.into_iter()
+                    .map(|(tag, meta, last_use, valid)| LineSlot {
+                        tag,
+                        meta,
+                        last_use,
+                        valid,
+                    })
+                    .collect()
+            })
+            .collect();
     }
 
     /// Iterates over `(line_addr, &meta)` of all valid lines.

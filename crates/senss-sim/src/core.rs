@@ -96,6 +96,57 @@ impl Core {
         self.ops_done
     }
 
+    /// Full mutable state for checkpoint capture:
+    /// `(trace ops, trace cursor, pending op, state, ops_done,
+    /// finished_at)`.
+    pub(crate) fn export_state(
+        &self,
+    ) -> (&[Op], usize, Option<Op>, CoreState, u64, Option<u64>) {
+        let (ops, pos) = self.trace.export_state();
+        (
+            ops,
+            pos,
+            self.pending_op,
+            self.state,
+            self.ops_done,
+            self.finished_at,
+        )
+    }
+
+    /// Rebuilds a core mid-run (checkpoint restore). The invariants
+    /// `Core::new`/`complete_op` maintain are asserted rather than
+    /// re-derived so a corrupted snapshot fails loudly.
+    pub(crate) fn from_state(
+        pid: usize,
+        ops: Vec<Op>,
+        pos: usize,
+        pending_op: Option<Op>,
+        state: CoreState,
+        ops_done: u64,
+        finished_at: Option<u64>,
+    ) -> Core {
+        assert_eq!(
+            pending_op.is_none(),
+            state == CoreState::Finished,
+            "core {pid}: pending op and state disagree"
+        );
+        if pos > 0 {
+            // The cursor sits one past the last fetched op, which is the
+            // pending one unless the trace is exhausted.
+            if let Some(op) = pending_op {
+                assert_eq!(ops.get(pos - 1), Some(&op), "core {pid}: pending op mismatch");
+            }
+        }
+        Core {
+            pid,
+            trace: VecTrace::from_state(ops, pos),
+            pending_op,
+            state,
+            ops_done,
+            finished_at,
+        }
+    }
+
     /// Cycle at which the core finished, if it has.
     pub fn finished_at(&self) -> Option<u64> {
         self.finished_at

@@ -105,6 +105,29 @@ pub trait Extension {
     fn hash_latency(&self) -> u64 {
         0
     }
+
+    /// Serializes the extension's mutable state as ordered
+    /// `(key, value)` pairs for a checkpoint (`senss-snapshot`). Keys
+    /// must be stable, unique and whitespace-free; values are plain
+    /// integers, so the snapshot format stays integer-only. Default:
+    /// nothing to save (the baseline has no mutable security state).
+    fn snapshot(&self, out: &mut Vec<(String, u64)>) {
+        let _ = out;
+    }
+
+    /// Restores state previously produced by
+    /// [`snapshot`](Extension::snapshot) into a freshly-constructed
+    /// extension of the *same configuration*.
+    ///
+    /// # Panics
+    ///
+    /// Implementations should panic on missing or malformed keys — a
+    /// mismatch means the snapshot came from a different configuration
+    /// or format version, and silently continuing would corrupt the
+    /// simulation.
+    fn restore(&mut self, state: &[(String, u64)]) {
+        let _ = state;
+    }
 }
 
 /// The insecure baseline: no security machinery at all.
@@ -152,6 +175,67 @@ impl<E: Extension + ?Sized> Extension for &mut E {
 
     fn hash_latency(&self) -> u64 {
         (**self).hash_latency()
+    }
+
+    fn snapshot(&self, out: &mut Vec<(String, u64)>) {
+        (**self).snapshot(out)
+    }
+
+    fn restore(&mut self, state: &[(String, u64)]) {
+        (**self).restore(state)
+    }
+}
+
+/// Blanket impl so one `System<Box<dyn Extension>>` monomorphization can
+/// run any security stack — the checkpoint/restore and serve replay
+/// paths use it so a restored system is one concrete type regardless of
+/// mode. Dynamic dispatch changes no arithmetic, so stats stay
+/// bit-identical to the statically-dispatched run.
+impl<E: Extension + ?Sized> Extension for Box<E> {
+    fn transfer_start_delay(
+        &mut self,
+        txn: &Transaction,
+        now: u64,
+        tracer: &mut Tracer<'_>,
+    ) -> u64 {
+        (**self).transfer_start_delay(txn, now, tracer)
+    }
+
+    fn transfer_extra_latency(&mut self, txn: &Transaction) -> u64 {
+        (**self).transfer_extra_latency(txn)
+    }
+
+    fn transaction_complete(
+        &mut self,
+        txn: &Transaction,
+        now: u64,
+        tracer: &mut Tracer<'_>,
+    ) -> Vec<FollowUp> {
+        (**self).transaction_complete(txn, now, tracer)
+    }
+
+    fn pad_request_needed(&mut self, pid: usize, addr: u64) -> bool {
+        (**self).pad_request_needed(pid, addr)
+    }
+
+    fn integrity_chain(&mut self, pid: usize, addr: u64) -> Vec<u64> {
+        (**self).integrity_chain(pid, addr)
+    }
+
+    fn writeback_chain(&mut self, pid: usize, addr: u64) -> Vec<u64> {
+        (**self).writeback_chain(pid, addr)
+    }
+
+    fn hash_latency(&self) -> u64 {
+        (**self).hash_latency()
+    }
+
+    fn snapshot(&self, out: &mut Vec<(String, u64)>) {
+        (**self).snapshot(out)
+    }
+
+    fn restore(&mut self, state: &[(String, u64)]) {
+        (**self).restore(state)
     }
 }
 

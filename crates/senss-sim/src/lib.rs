@@ -47,6 +47,7 @@ pub mod extension;
 pub mod memory;
 pub mod mesi;
 pub mod stats;
+pub mod state;
 pub mod system;
 pub mod trace;
 

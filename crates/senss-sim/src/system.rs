@@ -31,6 +31,10 @@ use crate::config::{CoherenceProtocol, SystemConfig};
 use crate::core::{Core, CoreState};
 use crate::extension::{Extension, FollowUp};
 use crate::mesi::MesiState;
+use crate::state::{
+    ArbiterSnap, CacheSnap, ChainSnap, CoreSnap, CoreStateSnap, EventKindSnap, EventSnap,
+    LineSnap, PurposeSnap, StepSnap, SystemState, TxnSlotSnap,
+};
 use crate::stats::Stats;
 use crate::trace::{AccessKind, VecTrace};
 use senss_trace::{NullSink, TraceEvent, TraceSink, Tracer};
@@ -153,6 +157,13 @@ pub struct System<E, S = NullSink> {
     /// Scratch for NACKed grant candidates, reused across grants.
     deferred_scratch: Vec<BusRequest>,
     events_processed: u64,
+    /// Cycles at which [`System::run`] captures a checkpoint, sorted
+    /// ascending. Checked once at `run` entry, not per event, so the
+    /// unarmed hot path is unchanged.
+    checkpoint_schedule: Vec<u64>,
+    /// Checkpoints captured by [`System::run`]; harvest with
+    /// [`System::take_checkpoints`].
+    captured_checkpoints: Vec<(u64, SystemState)>,
 }
 
 /// Event-queue entry. `key` packs `(time << 64) | seq` so heap sift
@@ -259,6 +270,8 @@ impl<E: Extension, S: TraceSink> System<E, S> {
             spare_steps: Vec::new(),
             deferred_scratch: Vec::new(),
             events_processed: 0,
+            checkpoint_schedule: Vec::new(),
+            captured_checkpoints: Vec::new(),
             cfg,
         };
         for pid in 0..n {
@@ -348,7 +361,53 @@ impl<E: Extension, S: TraceSink> System<E, S> {
     }
 
     /// Runs to completion and returns the final statistics.
+    ///
+    /// If checkpoints were armed via [`System::checkpoint_at`], each is
+    /// captured as its cycle boundary passes (collect them afterwards
+    /// with [`System::take_checkpoints`]). The schedule is consulted
+    /// once here — with no checkpoints armed the event loop is the same
+    /// tight pop loop as always.
     pub fn run(&mut self) -> Stats {
+        if !self.checkpoint_schedule.is_empty() {
+            let schedule = std::mem::take(&mut self.checkpoint_schedule);
+            for cycle in schedule {
+                self.run_until(cycle);
+                let state = self.capture_state();
+                self.captured_checkpoints.push((cycle, state));
+            }
+        }
+        self.finish()
+    }
+
+    /// Processes every pending event with firing time `<= bound`, then
+    /// stops at the cycle boundary. Returns `true` while events remain
+    /// (all strictly after `bound`), `false` once the simulation has
+    /// fully drained.
+    ///
+    /// A [`System::capture_state`] taken here, restored, and
+    /// [`System::finish`]ed replays the identical event sequence an
+    /// uninterrupted [`System::run`] would have produced.
+    pub fn run_until(&mut self, bound: u64) -> bool {
+        while let Some(peeked) = self.events.peek() {
+            if (peeked.key >> 64) as u64 > bound {
+                return true;
+            }
+            let EventKey { key, ev } = self.events.pop().expect("peeked entry");
+            let time = (key >> 64) as u64;
+            self.events_processed += 1;
+            match ev {
+                Event::CoreStep(pid) => self.core_step(pid, time),
+                Event::BusGrant => self.bus_grant(time),
+                Event::TxnDone(token) => self.txn_done(token, time),
+            }
+        }
+        false
+    }
+
+    /// Drains all remaining events and returns the final statistics.
+    /// `run` without the checkpoint pass; the continuation of
+    /// [`System::run_until`].
+    pub fn finish(&mut self) -> Stats {
         while let Some(EventKey { key, ev }) = self.events.pop() {
             let time = (key >> 64) as u64;
             self.events_processed += 1;
@@ -372,6 +431,355 @@ impl<E: Extension, S: TraceSink> System<E, S> {
             .max()
             .unwrap_or(0);
         self.stats.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint capture / restore
+    // ------------------------------------------------------------------
+
+    /// Arms a checkpoint: the next [`System::run`] captures the system
+    /// state once every event at or before `cycle` has been processed.
+    /// May be called repeatedly to arm several cycles (duplicates are
+    /// collapsed).
+    pub fn checkpoint_at(&mut self, cycle: u64) {
+        if let Err(i) = self.checkpoint_schedule.binary_search(&cycle) {
+            self.checkpoint_schedule.insert(i, cycle);
+        }
+    }
+
+    /// Takes the checkpoints captured by [`System::run`], as
+    /// `(cycle, state)` pairs in ascending cycle order.
+    pub fn take_checkpoints(&mut self) -> Vec<(u64, SystemState)> {
+        std::mem::take(&mut self.captured_checkpoints)
+    }
+
+    /// Captures the complete simulator state at the current cycle
+    /// boundary. Side-effect free; call between events (i.e. from
+    /// outside the event loop, or via [`System::checkpoint_at`]).
+    ///
+    /// The event queue is emitted sorted by `(time, seq)` so equal
+    /// states always capture identically (the heap's internal layout
+    /// depends on insertion history).
+    pub fn capture_state(&self) -> SystemState {
+        let mut events: Vec<EventSnap> = self
+            .events
+            .iter()
+            .map(|e| EventSnap {
+                time: (e.key >> 64) as u64,
+                seq: e.key as u64,
+                ev: match e.ev {
+                    Event::CoreStep(pid) => EventKindSnap::CoreStep(pid),
+                    Event::BusGrant => EventKindSnap::BusGrant,
+                    Event::TxnDone(token) => EventKindSnap::TxnDone(token),
+                },
+            })
+            .collect();
+        events.sort_by_key(|e| (e.time, e.seq));
+        let cores = self
+            .cores
+            .iter()
+            .map(|c| {
+                let (ops, pos, pending, state, ops_done, finished_at) = c.export_state();
+                CoreSnap {
+                    ops: ops.to_vec(),
+                    pos,
+                    pending,
+                    state: match state {
+                        CoreState::Ready => CoreStateSnap::Ready,
+                        CoreState::WaitingBus => CoreStateSnap::WaitingBus,
+                        CoreState::Finished => CoreStateSnap::Finished,
+                    },
+                    ops_done,
+                    finished_at,
+                }
+            })
+            .collect();
+        let snap_cache = |use_clock: u64, sets: Vec<Vec<(u64, u64, u64, bool)>>| CacheSnap {
+            use_clock,
+            sets: sets
+                .into_iter()
+                .map(|set| {
+                    set.into_iter()
+                        .map(|(tag, meta, last_use, valid)| LineSnap {
+                            tag,
+                            meta,
+                            last_use,
+                            valid,
+                        })
+                        .collect()
+                })
+                .collect(),
+        };
+        let l1 = self
+            .l1
+            .iter()
+            .map(|c| {
+                let (clock, sets) = c.export_state();
+                snap_cache(
+                    clock,
+                    sets.into_iter()
+                        .map(|s| {
+                            s.into_iter()
+                                .map(|(tag, m, lu, v)| (tag, m.dirty as u64, lu, v))
+                                .collect()
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let l2 = self
+            .l2
+            .iter()
+            .map(|c| {
+                let (clock, sets) = c.export_state();
+                snap_cache(
+                    clock,
+                    sets.into_iter()
+                        .map(|s| {
+                            s.into_iter()
+                                .map(|(tag, m, lu, v)| (tag, mesi_to_u64(m), lu, v))
+                                .collect()
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let (queues, injected, last_granted) = self.arbiter.export_state();
+        let slots = self
+            .slots
+            .iter()
+            .map(|s| {
+                s.as_ref().map(|slot| TxnSlotSnap {
+                    purpose: match slot.purpose {
+                        Purpose::CoreFill {
+                            pid,
+                            addr,
+                            supplier,
+                        } => PurposeSnap::CoreFill {
+                            pid,
+                            addr,
+                            supplier,
+                        },
+                        Purpose::CoreUpgrade { pid } => PurposeSnap::CoreUpgrade { pid },
+                        Purpose::CoreWriteUpdate { pid } => PurposeSnap::CoreWriteUpdate { pid },
+                        Purpose::ChainStep { chain_id } => PurposeSnap::ChainStep { chain_id },
+                        Purpose::FireAndForget => PurposeSnap::FireAndForget,
+                    },
+                    txn: slot.txn,
+                })
+            })
+            .collect();
+        let chains = self
+            .chains
+            .iter()
+            .map(|c| {
+                c.as_ref().map(|chain| ChainSnap {
+                    pid: chain.pid,
+                    blocking: chain.blocking,
+                    steps: chain
+                        .steps
+                        .iter()
+                        .map(|s| match *s {
+                            Step::PadRequest(a) => StepSnap::PadRequest(a),
+                            Step::HashCheck(a) => StepSnap::HashCheck(a),
+                            Step::MarkHashDirty(a) => StepSnap::MarkHashDirty(a),
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+        let mut ext = Vec::new();
+        self.ext.snapshot(&mut ext);
+        SystemState {
+            cfg: self.cfg.clone(),
+            cores,
+            l1,
+            l2,
+            arbiter: ArbiterSnap {
+                queues,
+                injected,
+                last_granted,
+            },
+            events,
+            seq: self.seq,
+            bus_next_free: self.bus_next_free,
+            grant_scheduled: self.grant_scheduled,
+            events_processed: self.events_processed,
+            slots,
+            free_tokens: self.free_tokens.clone(),
+            inflight_lines: self.inflight_lines.clone(),
+            chains,
+            free_chains: self.free_chains.clone(),
+            stats: self.stats.clone(),
+            ext,
+        }
+    }
+
+    /// Rebuilds a mid-run system from a captured [`SystemState`], a
+    /// fresh extension (configured identically to the captured run's —
+    /// its mutable state is re-imposed via
+    /// [`Extension::restore`](crate::extension::Extension::restore)),
+    /// and a sink for the continuation's trace events.
+    ///
+    /// [`System::finish`] on the result produces bit-identical [`Stats`]
+    /// and trace events to the uninterrupted run's continuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is internally inconsistent (core cursor past
+    /// its trace, cache geometry mismatch, unknown extension keys, …) —
+    /// a corrupted or mismatched snapshot fails loudly, never silently.
+    pub fn from_state(state: &SystemState, mut ext: E, sink: S) -> System<E, S> {
+        let cfg = state.cfg.clone();
+        let n = cfg.num_processors;
+        assert_eq!(state.cores.len(), n, "snapshot core count != config");
+        let cores = state
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(pid, c)| {
+                Core::from_state(
+                    pid,
+                    c.ops.clone(),
+                    c.pos,
+                    c.pending,
+                    match c.state {
+                        CoreStateSnap::Ready => CoreState::Ready,
+                        CoreStateSnap::WaitingBus => CoreState::WaitingBus,
+                        CoreStateSnap::Finished => CoreState::Finished,
+                    },
+                    c.ops_done,
+                    c.finished_at,
+                )
+            })
+            .collect();
+        assert_eq!(state.l1.len(), n, "snapshot L1 count != config");
+        assert_eq!(state.l2.len(), n, "snapshot L2 count != config");
+        let l1 = state
+            .l1
+            .iter()
+            .map(|snap| {
+                let mut c = SetAssocCache::new(cfg.l1_size, cfg.l1_ways, cfg.l1_line);
+                c.import_state(
+                    snap.use_clock,
+                    snap.sets
+                        .iter()
+                        .map(|s| {
+                            s.iter()
+                                .map(|l| {
+                                    (l.tag, L1Meta { dirty: l.meta != 0 }, l.last_use, l.valid)
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                );
+                c
+            })
+            .collect();
+        let l2 = state
+            .l2
+            .iter()
+            .map(|snap| {
+                let mut c = SetAssocCache::new(cfg.l2_size, cfg.l2_ways, cfg.l2_line);
+                c.import_state(
+                    snap.use_clock,
+                    snap.sets
+                        .iter()
+                        .map(|s| {
+                            s.iter()
+                                .map(|l| (l.tag, mesi_from_u64(l.meta), l.last_use, l.valid))
+                                .collect()
+                        })
+                        .collect(),
+                );
+                c
+            })
+            .collect();
+        let mut arbiter = Arbiter::new(n);
+        arbiter.import_state(
+            state.arbiter.queues.clone(),
+            state.arbiter.injected.clone(),
+            state.arbiter.last_granted,
+        );
+        let mut events = BinaryHeap::with_capacity(state.events.len());
+        for e in &state.events {
+            events.push(EventKey {
+                key: ((e.time as u128) << 64) | e.seq as u128,
+                ev: match e.ev {
+                    EventKindSnap::CoreStep(pid) => Event::CoreStep(pid),
+                    EventKindSnap::BusGrant => Event::BusGrant,
+                    EventKindSnap::TxnDone(token) => Event::TxnDone(token),
+                },
+            });
+        }
+        let slots = state
+            .slots
+            .iter()
+            .map(|s| {
+                s.as_ref().map(|slot| TxnSlot {
+                    purpose: match slot.purpose {
+                        PurposeSnap::CoreFill {
+                            pid,
+                            addr,
+                            supplier,
+                        } => Purpose::CoreFill {
+                            pid,
+                            addr,
+                            supplier,
+                        },
+                        PurposeSnap::CoreUpgrade { pid } => Purpose::CoreUpgrade { pid },
+                        PurposeSnap::CoreWriteUpdate { pid } => Purpose::CoreWriteUpdate { pid },
+                        PurposeSnap::ChainStep { chain_id } => Purpose::ChainStep { chain_id },
+                        PurposeSnap::FireAndForget => Purpose::FireAndForget,
+                    },
+                    txn: slot.txn,
+                })
+            })
+            .collect();
+        let chains = state
+            .chains
+            .iter()
+            .map(|c| {
+                c.as_ref().map(|chain| ChainWalk {
+                    pid: chain.pid,
+                    blocking: chain.blocking,
+                    steps: chain
+                        .steps
+                        .iter()
+                        .map(|s| match *s {
+                            StepSnap::PadRequest(a) => Step::PadRequest(a),
+                            StepSnap::HashCheck(a) => Step::HashCheck(a),
+                            StepSnap::MarkHashDirty(a) => Step::MarkHashDirty(a),
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+        ext.restore(&state.ext);
+        System {
+            cfg,
+            sink,
+            cores,
+            l1,
+            l2,
+            arbiter,
+            ext,
+            stats: state.stats.clone(),
+            events,
+            seq: state.seq,
+            bus_next_free: state.bus_next_free,
+            grant_scheduled: state.grant_scheduled,
+            slots,
+            free_tokens: state.free_tokens.clone(),
+            inflight_lines: state.inflight_lines.clone(),
+            chains,
+            free_chains: state.free_chains.clone(),
+            spare_steps: Vec::new(),
+            deferred_scratch: Vec::new(),
+            events_processed: state.events_processed,
+            checkpoint_schedule: Vec::new(),
+            captured_checkpoints: Vec::new(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1253,6 +1661,27 @@ fn is_hash_line(addr: u64) -> bool {
     addr >= (1 << 47)
 }
 
+/// Snapshot encoding of a MESI state. The numbering is part of the
+/// snapshot format — never renumber.
+fn mesi_to_u64(s: MesiState) -> u64 {
+    match s {
+        MesiState::Invalid => 0,
+        MesiState::Shared => 1,
+        MesiState::Exclusive => 2,
+        MesiState::Modified => 3,
+    }
+}
+
+fn mesi_from_u64(v: u64) -> MesiState {
+    match v {
+        0 => MesiState::Invalid,
+        1 => MesiState::Shared,
+        2 => MesiState::Exclusive,
+        3 => MesiState::Modified,
+        _ => panic!("invalid MESI snapshot value {v}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1472,6 +1901,122 @@ mod tests {
         let mut sys = System::new(cfg(2), vec![mk(0), mk(1)], NullExtension);
         let stats = sys.run();
         assert_eq!(stats.ops_executed, 100);
+    }
+
+    // --- checkpoint capture / restore ---
+
+    fn busy_traces() -> Vec<VecTrace> {
+        let a = VecTrace::new(
+            (0..300)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        Op::write(i % 7, (i % 40) * 64)
+                    } else {
+                        Op::read(i % 5, (i % 23) * 64)
+                    }
+                })
+                .collect(),
+        );
+        let b = VecTrace::new(
+            (0..300)
+                .map(|i| {
+                    if i % 4 == 0 {
+                        Op::write(i % 6, (i % 23) * 64)
+                    } else {
+                        Op::read(i % 3, (i % 40) * 64)
+                    }
+                })
+                .collect(),
+        );
+        vec![a, b]
+    }
+
+    #[test]
+    fn restore_reproduces_uninterrupted_run() {
+        let cold = System::new(cfg(2), busy_traces(), NullExtension).run();
+        assert!(cold.total_cycles > 100);
+        for divisor in [7, 3, 2] {
+            let c = cold.total_cycles / divisor;
+            let mut sys = System::new(cfg(2), busy_traces(), NullExtension);
+            assert!(sys.run_until(c), "events must remain at cycle {c}");
+            let state = sys.capture_state();
+            let mut restored: System<NullExtension> =
+                System::from_state(&state, NullExtension, NullSink);
+            assert_eq!(restored.events_processed(), sys.events_processed());
+            let warm = restored.finish();
+            assert_eq!(warm, cold, "restore at cycle {c} diverged");
+            // The original keeps running correctly too.
+            assert_eq!(sys.finish(), cold);
+        }
+    }
+
+    #[test]
+    fn capture_is_deterministic_and_side_effect_free() {
+        let mut sys = System::new(cfg(2), busy_traces(), NullExtension);
+        sys.run_until(500);
+        let s1 = sys.capture_state();
+        let s2 = sys.capture_state();
+        assert_eq!(s1, s2);
+        // A restored copy captures identically.
+        let restored: System<NullExtension> = System::from_state(&s1, NullExtension, NullSink);
+        assert_eq!(restored.capture_state(), s1);
+    }
+
+    #[test]
+    fn checkpoint_at_captures_during_run() {
+        let cold = System::new(cfg(2), busy_traces(), NullExtension).run();
+        let mut sys = System::new(cfg(2), busy_traces(), NullExtension);
+        sys.checkpoint_at(cold.total_cycles / 2);
+        sys.checkpoint_at(cold.total_cycles / 4);
+        sys.checkpoint_at(cold.total_cycles / 2); // duplicate collapses
+        let stats = sys.run();
+        assert_eq!(stats, cold, "armed checkpoints must not perturb the run");
+        let cps = sys.take_checkpoints();
+        assert_eq!(cps.len(), 2);
+        assert_eq!(cps[0].0, cold.total_cycles / 4);
+        assert_eq!(cps[1].0, cold.total_cycles / 2);
+        for (cycle, state) in cps {
+            let mut restored: System<NullExtension> =
+                System::from_state(&state, NullExtension, NullSink);
+            assert_eq!(restored.finish(), cold, "checkpoint at {cycle} diverged");
+        }
+        assert!(sys.take_checkpoints().is_empty());
+    }
+
+    #[test]
+    fn replace_traces_extends_a_fork() {
+        // A checkpoint of a short run, forked onto longer traces, must
+        // equal the longer run simulated cold.
+        let long = busy_traces();
+        let short: Vec<VecTrace> = long
+            .iter()
+            .cloned()
+            .map(|mut t| {
+                t.truncate(200);
+                t
+            })
+            .collect();
+        let cold_long = System::new(cfg(2), long.clone(), NullExtension).run();
+        let cold_short = System::new(cfg(2), short.clone(), NullExtension).run();
+        // Fork before the short run's first core finishes: behaviour up
+        // to there is identical under either trace set.
+        let fork_at = cold_short.core_finish_times.iter().min().unwrap() / 2;
+        let mut sys = System::new(cfg(2), short, NullExtension);
+        sys.run_until(fork_at);
+        let mut state = sys.capture_state();
+        state.replace_traces(long).unwrap();
+        let mut forked: System<NullExtension> = System::from_state(&state, NullExtension, NullSink);
+        assert_eq!(forked.finish(), cold_long);
+    }
+
+    #[test]
+    fn replace_traces_rejects_divergent_prefix() {
+        let mut sys = System::new(cfg(2), busy_traces(), NullExtension);
+        sys.run_until(500);
+        let mut state = sys.capture_state();
+        let mut bad = busy_traces();
+        bad[0] = VecTrace::new(vec![Op::read(0, 0x9999 * 64)]);
+        assert!(state.replace_traces(bad).is_err());
     }
 
     // --- write-update protocol (§6.1 ablation) ---

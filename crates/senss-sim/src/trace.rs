@@ -77,6 +77,27 @@ impl VecTrace {
         self.ops.truncate(len);
         self.pos = self.pos.min(self.ops.len());
     }
+
+    /// The full operation list and the read cursor (checkpoint capture).
+    pub(crate) fn export_state(&self) -> (&[Op], usize) {
+        (&self.ops, self.pos)
+    }
+
+    /// Rebuilds a trace mid-stream (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` points past the end of `ops`.
+    pub(crate) fn from_state(ops: Vec<Op>, pos: usize) -> VecTrace {
+        assert!(pos <= ops.len(), "trace cursor {pos} past {} ops", ops.len());
+        VecTrace { ops, pos }
+    }
+
+    /// Consumes the trace, returning its operation list (warm-start
+    /// forking swaps a checkpoint's traces for longer ones).
+    pub(crate) fn into_ops(self) -> Vec<Op> {
+        self.ops
+    }
 }
 
 impl TraceSource for VecTrace {

@@ -334,6 +334,59 @@ impl Extension for SenssExtension {
             0
         }
     }
+
+    fn snapshot(&self, out: &mut Vec<(String, u64)>) {
+        out.push(("shu.secured".into(), self.stats.secured_transfers));
+        out.push(("shu.auth_rounds".into(), self.stats.auth_rounds));
+        out.push(("shu.pad_inv".into(), self.stats.pad_invalidates));
+        out.push(("shu.pad_req".into(), self.stats.pad_requests));
+        for (i, group) in self.groups.iter().enumerate() {
+            out.push((format!("g{i}.auth"), group.transfers_since_auth));
+            out.push((format!("g{i}.init"), group.next_initiator_idx as u64));
+            let (slots, aes_next, aes_issued, acquisitions, total_stall) =
+                group.masks.export_state();
+            out.push((format!("g{i}.aes.next"), aes_next));
+            out.push((format!("g{i}.aes.issued"), aes_issued));
+            out.push((format!("g{i}.acq"), acquisitions));
+            out.push((format!("g{i}.stall"), total_stall));
+            out.push((format!("g{i}.mask.len"), slots.len() as u64));
+            for (j, &at) in slots.iter().enumerate() {
+                out.push((format!("g{i}.mask.{j}"), at));
+            }
+        }
+        if let Some(mp) = &self.memprot {
+            mp.snapshot_into(out);
+        }
+    }
+
+    fn restore(&mut self, state: &[(String, u64)]) {
+        let map: std::collections::BTreeMap<&str, u64> =
+            state.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let get = |k: String| -> u64 {
+            *map.get(k.as_str())
+                .unwrap_or_else(|| panic!("snapshot missing key {k}"))
+        };
+        self.stats.secured_transfers = get("shu.secured".into());
+        self.stats.auth_rounds = get("shu.auth_rounds".into());
+        self.stats.pad_invalidates = get("shu.pad_inv".into());
+        self.stats.pad_requests = get("shu.pad_req".into());
+        for (i, group) in self.groups.iter_mut().enumerate() {
+            group.transfers_since_auth = get(format!("g{i}.auth"));
+            group.next_initiator_idx = get(format!("g{i}.init")) as usize;
+            let len = get(format!("g{i}.mask.len")) as usize;
+            let slots: Vec<u64> = (0..len).map(|j| get(format!("g{i}.mask.{j}"))).collect();
+            group.masks.restore_state(
+                &slots,
+                get(format!("g{i}.aes.next")),
+                get(format!("g{i}.aes.issued")),
+                get(format!("g{i}.acq")),
+                get(format!("g{i}.stall")),
+            );
+        }
+        if let Some(mp) = self.memprot.as_mut() {
+            mp.restore_from(&map);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //!
 //! Times `System::run` — the inner loop every figure and every
 //! `senss-serve` job spends its cycles in — on the fft/radix/ocean
-//! traces at 4/8/16 processors, under the insecure baseline and under
+//! traces at 4/8/16/32 processors, under the insecure baseline and under
 //! SENSS-CBC (the paper's default security mode). Each configuration is
 //! run several times; the per-iteration events/sec and simulated
 //! cycles/sec rates are summarized as median / p10 / p90 and written as
@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! sim_hotpath [--smoke] [--iters N] [--ops N] [--out PATH]
-//!             [--sink null|ring] [--check BASELINE.json] [--tol PCT]
+//!             [--sink null|ring] [--sched heap|wheel]
+//!             [--check BASELINE.json] [--tol PCT]
 //! ```
 //!
 //! `--smoke` is the CI mode: a tiny trace and a single iteration, so the
@@ -28,10 +29,15 @@
 //! `RingSink` attached), for measuring the cost of live tracing; see
 //! `docs/observability.md`. Comparing a ring run to a null baseline with
 //! `--check` is meaningless — the regression gate is for `--sink null`.
+//!
+//! `--sched` selects the event-queue implementation (default `heap`);
+//! every scheduler produces bit-identical simulation results, so A/B
+//! runs of this flag measure pure event-queue overhead.
 
 use senss_bench::benchkit::black_box;
 use senss_harness::json::Value;
 use senss_harness::{JobSpec, SecurityMode};
+use senss_sim::config::SchedulerKind;
 use senss_trace::RingSink;
 use senss_workloads::Workload;
 use std::time::Instant;
@@ -94,10 +100,17 @@ fn summary(samples: &[f64]) -> Value {
     ])
 }
 
-fn run_config(config: Config, ops: usize, iters: usize, sink: SinkChoice) -> Measured {
+fn run_config(
+    config: Config,
+    ops: usize,
+    iters: usize,
+    sink: SinkChoice,
+    sched: SchedulerKind,
+) -> Measured {
     let job = JobSpec::new(config.workload, config.processors, 1 << 20)
         .with_mode(config.mode)
-        .with_ops(ops);
+        .with_ops(ops)
+        .with_scheduler(sched);
     let mut events = 0;
     let mut sim_cycles = 0;
     let mut events_per_sec = Vec::with_capacity(iters);
@@ -144,7 +157,7 @@ fn run_config(config: Config, ops: usize, iters: usize, sink: SinkChoice) -> Mea
 fn usage() -> ! {
     eprintln!(
         "usage: sim_hotpath [--smoke] [--iters N] [--ops N] [--out PATH] \
-         [--sink null|ring] [--check BASELINE.json] [--tol PCT]"
+         [--sink null|ring] [--sched heap|wheel] [--check BASELINE.json] [--tol PCT]"
     );
     std::process::exit(2);
 }
@@ -178,6 +191,10 @@ fn check_against_baseline(current: &[Value], baseline_path: &str, tol_pct: f64) 
     let median = |cell: &Value| -> Option<u64> {
         cell.get("events_per_sec")?.get("median")?.as_u64()
     };
+    eprintln!(
+        "sim_hotpath: {:<8} {:>3} {:<10} {:>12} {:>12} {:>8}  verdict",
+        "workload", "P", "mode", "events/s", "baseline", "delta"
+    );
     let mut regressions = 0;
     for cell in current {
         let Some(key) = cell_key(cell) else { continue };
@@ -198,7 +215,7 @@ fn check_against_baseline(current: &[Value], baseline_path: &str, tol_pct: f64) 
         let delta_pct = (now as f64 - was as f64) / was as f64 * 100.0;
         let verdict = if (now as f64) < floor { "REGRESSED" } else { "ok" };
         eprintln!(
-            "sim_hotpath: {:<8} {:>2}P {:<10} {now:>12} vs baseline {was:>12} ({delta_pct:+.2}%) {verdict}",
+            "sim_hotpath: {:<8} {:>2}P {:<10} {now:>12} {was:>12} {delta_pct:>+7.2}%  {verdict}",
             key.0, key.1, key.2
         );
         if (now as f64) < floor {
@@ -214,6 +231,7 @@ fn main() {
     let mut ops: Option<usize> = None;
     let mut out = "BENCH_sim.json".to_string();
     let mut sink = SinkChoice::Null;
+    let mut sched = SchedulerKind::default();
     let mut check: Option<String> = None;
     let mut tol_pct = 2.0f64;
     let mut args = std::env::args().skip(1);
@@ -224,6 +242,13 @@ fn main() {
                 sink = match args.next().as_deref() {
                     Some("null") => SinkChoice::Null,
                     Some("ring") => SinkChoice::Ring,
+                    _ => usage(),
+                }
+            }
+            "--sched" => {
+                sched = match args.next().as_deref() {
+                    Some("heap") => SchedulerKind::Heap,
+                    Some("wheel") => SchedulerKind::Wheel,
                     _ => usage(),
                 }
             }
@@ -256,12 +281,16 @@ fn main() {
     let ops = ops.unwrap_or(if smoke { 300 } else { 20_000 });
 
     let workloads = [Workload::Fft, Workload::Radix, Workload::Ocean];
-    let processors = [4usize, 8, 16];
+    let processors = [4usize, 8, 16, 32];
     let modes = [SecurityMode::Baseline, SecurityMode::senss()];
 
     eprintln!(
-        "sim_hotpath: {} configs x {iters} iteration(s), {ops} ops/core{}",
+        "sim_hotpath: {} configs x {iters} iteration(s), {ops} ops/core, {} scheduler{}",
         workloads.len() * processors.len() * modes.len(),
+        match sched {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Wheel => "wheel",
+        },
         if smoke { " (smoke)" } else { "" }
     );
 
@@ -278,6 +307,7 @@ fn main() {
                     ops,
                     iters,
                     sink,
+                    sched,
                 );
                 println!(
                     "{:<8} {:>2}P {:<10} {:>12.0} events/s (median of {iters}), {} events/run",
@@ -321,6 +351,16 @@ fn main() {
                 match sink {
                     SinkChoice::Null => "null",
                     SinkChoice::Ring => "ring",
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "scheduler".to_string(),
+            Value::Str(
+                match sched {
+                    SchedulerKind::Heap => "heap",
+                    SchedulerKind::Wheel => "wheel",
                 }
                 .to_string(),
             ),

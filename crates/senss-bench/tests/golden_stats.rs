@@ -1,7 +1,8 @@
 //! Golden-record equivalence: the simulator's observable statistics are
 //! pinned byte-for-byte.
 //!
-//! One representative configuration per figure binary (all nine) runs at
+//! One representative configuration per figure binary (plus a 32-core
+//! scaling point) runs at
 //! small scale and its full [`Stats`] — every counter plus the per-core
 //! vectors — is serialized with the harness run-record codec and
 //! compared against `tests/golden_stats.jsonl`. Any change to simulated
@@ -79,6 +80,12 @@ fn figure_configs() -> Vec<(&'static str, JobSpec)> {
                 .with_mode(SecurityMode::senss())
                 .with_ops(OPS),
         ),
+        (
+            "scaling_study_32p",
+            JobSpec::new(Workload::Ocean, 32, 4 << 20)
+                .with_mode(SecurityMode::senss())
+                .with_ops(OPS),
+        ),
     ]
 }
 
@@ -92,7 +99,7 @@ fn golden_line(name: &str, spec: &JobSpec) -> String {
 }
 
 #[test]
-fn stats_match_golden_records_for_all_nine_figures() {
+fn stats_match_golden_records_for_all_figures() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_stats.jsonl");
     let lines: Vec<String> = figure_configs()
         .iter()

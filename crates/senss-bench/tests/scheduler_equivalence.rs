@@ -1,0 +1,101 @@
+//! The scheduler choice must be invisible in every observable output.
+//!
+//! `SchedulerKind` selects how the simulator's event queue is
+//! implemented (binary heap vs. calendar queue) — a pure performance
+//! knob. These tests pin the contract that makes it safe to benchmark
+//! one and ship the other: a `Wheel`-scheduled run produces
+//! bit-identical statistics, trace-event streams, and snapshot text to
+//! the default `Heap` run on the same spec.
+
+use senss_harness::{JobSpec, SecurityMode};
+use senss_sim::config::SchedulerKind;
+use senss_snapshot::Snapshot;
+use senss_trace::RingSink;
+use senss_workloads::Workload;
+
+const OPS: usize = 2_000;
+
+/// A mix of shapes: small and wide systems, baseline and SENSS, the
+/// same coordinates the golden suite leans on.
+fn specs() -> Vec<JobSpec> {
+    vec![
+        JobSpec::new(Workload::Fft, 2, 1 << 20)
+            .with_mode(SecurityMode::senss())
+            .with_ops(OPS),
+        JobSpec::new(Workload::Ocean, 4, 4 << 20).with_ops(OPS),
+        JobSpec::new(Workload::Radix, 16, 4 << 20)
+            .with_mode(SecurityMode::senss())
+            .with_ops(OPS),
+    ]
+}
+
+#[test]
+fn wheel_and_heap_runs_are_bit_identical() {
+    for spec in specs() {
+        let heap = spec.with_scheduler(SchedulerKind::Heap);
+        let wheel = spec.with_scheduler(SchedulerKind::Wheel);
+        let (heap_stats, heap_events) = heap.run_counting();
+        let (wheel_stats, wheel_events) = wheel.run_counting();
+        assert_eq!(heap_stats, wheel_stats, "{spec:?}: stats diverged");
+        assert_eq!(
+            heap_events, wheel_events,
+            "{spec:?}: event counts diverged"
+        );
+        assert_eq!(
+            heap.cache_key(),
+            wheel.cache_key(),
+            "the scheduler must not be part of the cache key"
+        );
+    }
+}
+
+#[test]
+fn wheel_runs_emit_the_same_trace_stream() {
+    let spec = JobSpec::new(Workload::Fft, 2, 1 << 20)
+        .with_mode(SecurityMode::senss())
+        .with_ops(OPS);
+    let (heap_stats, heap_sink) = spec
+        .with_scheduler(SchedulerKind::Heap)
+        .run_with_sink(RingSink::new());
+    let (wheel_stats, wheel_sink) = spec
+        .with_scheduler(SchedulerKind::Wheel)
+        .run_with_sink(RingSink::new());
+    assert_eq!(heap_stats, wheel_stats);
+    assert_eq!(heap_sink.dropped(), 0);
+    assert_eq!(wheel_sink.dropped(), 0);
+    let heap_events: Vec<_> = heap_sink.events().copied().collect();
+    let wheel_events: Vec<_> = wheel_sink.events().copied().collect();
+    assert_eq!(heap_events, wheel_events, "trace streams diverged");
+}
+
+/// Mid-run snapshots must also be identical: capture sorts the exported
+/// event queue, so the schedulers' internal layouts never leak into the
+/// text. A heap-captured snapshot restored into a wheel-scheduled
+/// continuation (and vice versa) finishes with the same stats.
+#[test]
+fn snapshots_are_scheduler_agnostic() {
+    let spec = JobSpec::new(Workload::Ocean, 4, 4 << 20)
+        .with_mode(SecurityMode::senss())
+        .with_ops(OPS);
+    let cold = spec.run();
+    let cycle = cold.total_cycles / 2;
+
+    let mut texts = Vec::new();
+    for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+        let mut sys = spec.with_scheduler(kind).build_system();
+        sys.run_until(cycle);
+        texts.push(Snapshot::capture(&sys, cycle).encode());
+    }
+    assert_eq!(
+        texts[0], texts[1],
+        "snapshot text must not depend on the scheduler"
+    );
+
+    // Cross-restore: the decoded snapshot (which carries no scheduler)
+    // finishes to the cold run's stats.
+    let warm = Snapshot::decode(&texts[1])
+        .expect("decodes")
+        .restore(spec.build_extension())
+        .finish();
+    assert_eq!(warm, cold, "restored continuation diverged");
+}

@@ -1,0 +1,83 @@
+//! Snapshot *format* stability: a snapshot written by an earlier build
+//! must either restore bit-identically on the current build or be
+//! rejected with a versioned error — never silently misread.
+//!
+//! `tests/pre_change_snapshot.txt` was captured at T/2 of the
+//! `fig06_slowdown` golden configuration by the build that introduced
+//! it, and is only regenerated when the on-disk format intentionally
+//! changes (bump [`senss_snapshot::FORMAT_VERSION`] at the same time):
+//!
+//! ```text
+//! SNAPSHOT_FIXTURE_REGEN=1 cargo test -p senss-bench --test snapshot_format
+//! ```
+
+use senss_harness::{JobSpec, SecurityMode};
+use senss_snapshot::{Snapshot, SnapshotError, FORMAT_VERSION};
+use senss_workloads::Workload;
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/pre_change_snapshot.txt");
+
+/// Same job as the `fig06_slowdown` golden config.
+fn fixture_spec() -> JobSpec {
+    JobSpec::new(Workload::Fft, 2, 1 << 20)
+        .with_mode(SecurityMode::senss())
+        .with_ops(2_000)
+}
+
+#[test]
+fn pre_change_snapshot_restores_bit_identically() {
+    let spec = fixture_spec();
+    let cold = spec.run();
+
+    if std::env::var_os("SNAPSHOT_FIXTURE_REGEN").is_some() {
+        let cycle = cold.total_cycles / 2;
+        let mut sys = spec.build_system();
+        sys.run_until(cycle);
+        let text = Snapshot::capture(&sys, cycle).encode();
+        std::fs::write(FIXTURE, &text).expect("write snapshot fixture");
+        eprintln!("regenerated {FIXTURE}");
+        return;
+    }
+
+    let text = std::fs::read_to_string(FIXTURE)
+        .expect("snapshot fixture missing; regenerate with SNAPSHOT_FIXTURE_REGEN=1");
+    let snap = Snapshot::decode(&text).unwrap_or_else(|e| {
+        panic!(
+            "pre-change snapshot no longer decodes ({e}); if the format \
+             changed intentionally, bump FORMAT_VERSION so old snapshots \
+             are *rejected*, and regenerate the fixture"
+        )
+    });
+    assert_eq!(
+        snap.encode(),
+        text,
+        "re-encoding the pre-change snapshot is not byte-identical — the \
+         writer drifted without a FORMAT_VERSION bump"
+    );
+    let warm = snap.restore(spec.build_extension()).finish();
+    assert_eq!(
+        warm, cold,
+        "restoring the pre-change snapshot diverged from the cold run"
+    );
+}
+
+/// A snapshot claiming a future format version must fail loudly with
+/// the versioned error, not be parsed on a best-effort basis.
+#[test]
+fn future_format_version_is_rejected_with_versioned_error() {
+    let text = std::fs::read_to_string(FIXTURE)
+        .expect("snapshot fixture missing; regenerate with SNAPSHOT_FIXTURE_REGEN=1");
+    let header = format!("senss-snapshot {FORMAT_VERSION}");
+    assert!(text.starts_with(&header), "fixture header changed");
+    let bumped = text.replacen(
+        &header,
+        &format!("senss-snapshot {}", FORMAT_VERSION + 1),
+        1,
+    );
+    match Snapshot::decode(&bumped) {
+        Err(SnapshotError::UnsupportedVersion(v)) => {
+            assert_eq!(v, (FORMAT_VERSION + 1) as u64)
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}

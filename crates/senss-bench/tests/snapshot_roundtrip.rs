@@ -1,6 +1,6 @@
 //! Checkpoint/restore equivalence against the golden-record suite.
 //!
-//! For every one of the nine pinned figure configurations, the run is
+//! For every one of the pinned figure configurations, the run is
 //! interrupted at three distinct cycle points (T/4, T/2, 3T/4 of the
 //! uninterrupted total), captured with `senss-snapshot`, pushed through
 //! the text codec, and restored into a fresh system. The restored run's
@@ -22,7 +22,7 @@ use senss_workloads::Workload;
 
 const OPS: usize = 2_000;
 
-/// The same nine configurations `golden_stats.rs` pins. Duplicated
+/// The same configurations `golden_stats.rs` pins. Duplicated
 /// rather than shared because each integration test compiles as its own
 /// crate; any drift shows up as a fixture mismatch here.
 fn figure_configs() -> Vec<(&'static str, JobSpec)> {
@@ -77,6 +77,12 @@ fn figure_configs() -> Vec<(&'static str, JobSpec)> {
         (
             "scaling_study",
             JobSpec::new(Workload::Ocean, 16, 4 << 20)
+                .with_mode(SecurityMode::senss())
+                .with_ops(OPS),
+        ),
+        (
+            "scaling_study_32p",
+            JobSpec::new(Workload::Ocean, 32, 4 << 20)
                 .with_mode(SecurityMode::senss())
                 .with_ops(OPS),
         ),

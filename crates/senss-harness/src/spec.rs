@@ -16,7 +16,7 @@
 use senss::secure_bus::{CipherMode, SenssConfig, SenssExtension};
 use senss_crypto::sha256::Sha256;
 use senss_memprot::{MemProtConfig, MemProtPolicy};
-use senss_sim::config::CoherenceProtocol;
+use senss_sim::config::{CoherenceProtocol, SchedulerKind};
 use senss_sim::trace::VecTrace;
 use senss_sim::{NullExtension, Stats, System, SystemConfig};
 use senss_trace::TraceSink;
@@ -297,6 +297,11 @@ pub struct JobSpec {
     /// [`canonical`](JobSpec::canonical)/the cache key: capture does not
     /// change the result, and cached stats stay valid either way.
     pub capture: Option<TraceCapture>,
+    /// Event-queue implementation to simulate with. Like `capture`, an
+    /// observation-side knob: every scheduler pops events in identical
+    /// order, so it is excluded from [`canonical`](JobSpec::canonical)
+    /// and the cache key — results are interchangeable across schedulers.
+    pub scheduler: SchedulerKind,
 }
 
 impl JobSpec {
@@ -312,6 +317,7 @@ impl JobSpec {
             ops_per_core: 10_000,
             seed: 42,
             capture: None,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -333,6 +339,12 @@ impl JobSpec {
         self
     }
 
+    /// Sets the event-queue implementation (see [`SchedulerKind`]).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> JobSpec {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// Sets the per-core operation count.
     pub fn with_ops(mut self, ops_per_core: usize) -> JobSpec {
         self.ops_per_core = ops_per_core;
@@ -347,7 +359,9 @@ impl JobSpec {
 
     /// The materialized architectural configuration.
     pub fn system_config(&self) -> SystemConfig {
-        SystemConfig::e6000(self.cores, self.l2_bytes).with_coherence(self.coherence)
+        SystemConfig::e6000(self.cores, self.l2_bytes)
+            .with_coherence(self.coherence)
+            .with_scheduler(self.scheduler)
     }
 
     /// Materializes the per-core traces this job simulates. Public so
@@ -754,6 +768,7 @@ mod tests {
             ops_per_core: 500,
             seed: 0,
             capture: None,
+            scheduler: SchedulerKind::default(),
         }
         .run();
         assert!(stats.total_cycles > 0);

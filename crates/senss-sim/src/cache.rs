@@ -5,34 +5,57 @@
 //! The array stores no data bytes — the simulator tracks timing and
 //! coherence; functional data (for the security layer) is synthesized at
 //! the bus level.
+//!
+//! # Layout
+//!
+//! The directory is struct-of-arrays: one flat `tags` / `meta` /
+//! `last_use` array each, plus a packed validity bitmask, all
+//! preallocated at construction. Set `i` owns the slot range
+//! `i*ways .. (i+1)*ways`, so a set probe is a fixed-trip linear scan
+//! over adjacent words — no per-set `Vec` indirection, no growth branch
+//! on the hot path.
+//!
+//! # Snapshot compatibility
+//!
+//! The previous array-of-structs layout materialized sets lazily and
+//! grew each set one slot at a time, and checkpoints captured exactly
+//! that shape (variable-length sets; an untouched cache exports no sets
+//! at all). The SoA layout reproduces it bit-for-bit: a `touched` flag
+//! stands in for "were the sets ever materialized", and the per-set
+//! materialized length is derived at export time from the invariant
+//! that a slot has `last_use > 0` iff it was ever filled — fills walk
+//! the set left to right, so the materialized slots of a set are always
+//! a prefix.
 
 /// A set-associative, LRU-replaced cache directory.
 ///
 /// `M` is the per-line metadata (coherence state, dirty bit, …).
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<M> {
-    sets: Vec<Vec<LineSlot<M>>>,
+    /// `set_count * ways` tags, set-major.
+    tags: Vec<u64>,
+    /// Parallel per-slot metadata.
+    meta: Vec<M>,
+    /// Parallel per-slot LRU stamps; `0` marks a never-filled slot.
+    last_use: Vec<u64>,
+    /// Packed per-slot validity bits, one bit per slot.
+    valid: Vec<u64>,
     ways: usize,
     line_shift: u32,
     set_count: usize,
     use_clock: u64,
+    /// Whether any state-changing probe ever ran (see module docs).
+    touched: bool,
 }
 
 /// One exported line slot: `(tag, metadata, last_use, valid)` — the
 /// exact fields a checkpoint must carry per cache line.
 pub(crate) type LineSlotState<M> = (u64, M, u64, bool);
 
-#[derive(Debug, Clone)]
-struct LineSlot<M> {
-    tag: u64,
-    meta: M,
-    last_use: u64,
-    valid: bool,
-}
-
-impl<M> SetAssocCache<M> {
+impl<M: Default> SetAssocCache<M> {
     /// Creates a cache of `size` bytes, `ways`-associative, with
-    /// `line_size`-byte lines.
+    /// `line_size`-byte lines. All sets are preallocated here; no
+    /// probe ever allocates.
     ///
     /// # Panics
     ///
@@ -50,15 +73,73 @@ impl<M> SetAssocCache<M> {
             set_count.is_power_of_two() && set_count > 0,
             "set count must be a power of two"
         );
+        let slots = set_count * ways;
+        let mut meta = Vec::with_capacity(slots);
+        meta.resize_with(slots, M::default);
         SetAssocCache {
-            sets: Vec::new(),
+            tags: vec![0; slots],
+            meta,
+            last_use: vec![0; slots],
+            valid: vec![0; slots.div_ceil(64)],
             ways,
             line_shift: line_size.trailing_zeros(),
             set_count,
             use_clock: 0,
+            touched: false,
         }
     }
 
+    /// Removes the line for `addr`, returning its metadata if present.
+    /// The slot is left invalid and will be reused by future inserts.
+    pub fn take(&mut self, addr: u64) -> Option<M> {
+        let slot = self.find_slot(addr)?;
+        self.clear_valid(slot);
+        Some(std::mem::take(&mut self.meta[slot]))
+    }
+
+    /// Restores state captured by [`SetAssocCache::export_state`] into a
+    /// freshly-constructed cache of the same geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count disagrees with this cache's geometry
+    /// (a snapshot from a different configuration), or if a set holds
+    /// more slots than the associativity.
+    pub(crate) fn import_state(&mut self, use_clock: u64, sets: Vec<Vec<LineSlotState<M>>>) {
+        assert!(
+            sets.is_empty() || sets.len() == self.set_count,
+            "snapshot has {} sets, cache has {}",
+            sets.len(),
+            self.set_count
+        );
+        self.use_clock = use_clock;
+        self.touched = !sets.is_empty();
+        self.tags.fill(0);
+        self.last_use.fill(0);
+        self.valid.fill(0);
+        for m in &mut self.meta {
+            *m = M::default();
+        }
+        for (idx, set) in sets.into_iter().enumerate() {
+            assert!(set.len() <= self.ways, "snapshot set wider than associativity");
+            let base = idx * self.ways;
+            for (way, (tag, meta, last_use, valid)) in set.into_iter().enumerate() {
+                // Every slot a checkpoint carries was once filled; the
+                // export-time length derivation depends on it.
+                debug_assert!(valid || last_use > 0, "checkpoint slot was never filled");
+                let s = base + way;
+                self.tags[s] = tag;
+                self.meta[s] = meta;
+                self.last_use[s] = last_use;
+                if valid {
+                    self.set_valid(s);
+                }
+            }
+        }
+    }
+}
+
+impl<M> SetAssocCache<M> {
     /// Aligns `addr` down to its line address.
     pub fn line_addr(&self, addr: u64) -> u64 {
         addr >> self.line_shift << self.line_shift
@@ -87,48 +168,50 @@ impl<M> SetAssocCache<M> {
         addr >> self.line_shift
     }
 
-    fn ensure_set(&mut self, idx: usize) -> &mut Vec<LineSlot<M>> {
-        if self.sets.is_empty() {
-            self.sets = Vec::with_capacity(self.set_count);
-            for _ in 0..self.set_count {
-                self.sets.push(Vec::new());
-            }
-        }
-        &mut self.sets[idx]
+    #[inline]
+    fn is_valid(&self, slot: usize) -> bool {
+        self.valid[slot >> 6] >> (slot & 63) & 1 == 1
+    }
+
+    #[inline]
+    fn set_valid(&mut self, slot: usize) {
+        self.valid[slot >> 6] |= 1 << (slot & 63);
+    }
+
+    #[inline]
+    fn clear_valid(&mut self, slot: usize) {
+        self.valid[slot >> 6] &= !(1 << (slot & 63));
+    }
+
+    /// Finds the slot index holding `addr`'s line, if resident.
+    #[inline]
+    fn find_slot(&self, addr: u64) -> Option<usize> {
+        let tag = self.tag(addr);
+        let base = self.set_index(addr) * self.ways;
+        (base..base + self.ways).find(|&s| self.tags[s] == tag && self.is_valid(s))
     }
 
     /// Looks up `addr`, updating LRU, and returns mutable metadata on hit.
     pub fn lookup_mut(&mut self, addr: u64) -> Option<&mut M> {
-        let tag = self.tag(addr);
-        let idx = self.set_index(addr);
         self.use_clock += 1;
+        self.touched = true;
         let clock = self.use_clock;
-        let set = self.ensure_set(idx);
-        set.iter_mut().find(|l| l.valid && l.tag == tag).map(|l| {
-            l.last_use = clock;
-            &mut l.meta
-        })
+        let slot = self.find_slot(addr)?;
+        self.last_use[slot] = clock;
+        Some(&mut self.meta[slot])
     }
 
     /// Looks up `addr` without updating LRU (snoop path).
     pub fn peek(&self, addr: u64) -> Option<&M> {
-        if self.sets.is_empty() {
-            return None;
-        }
-        let tag = self.tag(addr);
-        let set = &self.sets[self.set_index(addr)];
-        set.iter().find(|l| l.valid && l.tag == tag).map(|l| &l.meta)
+        self.find_slot(addr).map(|s| &self.meta[s])
     }
 
     /// Like [`SetAssocCache::peek`] but mutable (snoop state changes must
     /// not disturb LRU).
     pub fn peek_mut(&mut self, addr: u64) -> Option<&mut M> {
-        let tag = self.tag(addr);
-        let idx = self.set_index(addr);
-        let set = self.ensure_set(idx);
-        set.iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-            .map(|l| &mut l.meta)
+        self.touched = true;
+        let slot = self.find_slot(addr)?;
+        Some(&mut self.meta[slot])
     }
 
     /// Inserts a line for `addr` with metadata `meta`, touching LRU.
@@ -141,140 +224,98 @@ impl<M> SetAssocCache<M> {
     /// [`SetAssocCache::lookup_mut`] first).
     pub fn insert(&mut self, addr: u64, meta: M) -> Option<(u64, M)> {
         let tag = self.tag(addr);
-        let idx = self.set_index(addr);
+        let base = self.set_index(addr) * self.ways;
         self.use_clock += 1;
+        self.touched = true;
         let clock = self.use_clock;
-        let ways = self.ways;
-        let line_shift = self.line_shift;
-        let set = self.ensure_set(idx);
-        assert!(
-            !set.iter().any(|l| l.valid && l.tag == tag),
-            "inserting a line that is already present"
-        );
-        // Fill an invalid slot or grow up to the associativity.
-        if let Some(slot) = set.iter_mut().find(|l| !l.valid) {
-            *slot = LineSlot {
-                tag,
-                meta,
-                last_use: clock,
-                valid: true,
-            };
+        // Fill the first invalid slot if the set has room.
+        let mut free = None;
+        for s in base..base + self.ways {
+            if self.is_valid(s) {
+                assert!(self.tags[s] != tag, "inserting a line that is already present");
+            } else if free.is_none() {
+                free = Some(s);
+            }
+        }
+        if let Some(s) = free {
+            self.tags[s] = tag;
+            self.meta[s] = meta;
+            self.last_use[s] = clock;
+            self.set_valid(s);
             return None;
         }
-        if set.len() < ways {
-            set.push(LineSlot {
-                tag,
-                meta,
-                last_use: clock,
-                valid: true,
-            });
-            return None;
+        // Evict the LRU way (first minimum, matching the old
+        // `min_by_key` tie-break — stamps are unique in practice).
+        let mut victim = base;
+        for s in base + 1..base + self.ways {
+            if self.last_use[s] < self.last_use[victim] {
+                victim = s;
+            }
         }
-        // Evict the LRU way.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| l.last_use)
-            .expect("non-empty set");
-        let evicted_addr = victim.tag << line_shift;
-        let evicted_meta = std::mem::replace(
-            victim,
-            LineSlot {
-                tag,
-                meta,
-                last_use: clock,
-                valid: true,
-            },
-        )
-        .meta;
+        let evicted_addr = self.tags[victim] << self.line_shift;
+        let evicted_meta = std::mem::replace(&mut self.meta[victim], meta);
+        self.tags[victim] = tag;
+        self.last_use[victim] = clock;
         Some((evicted_addr, evicted_meta))
     }
 
     /// Number of valid lines currently resident (statistics / tests).
     pub fn resident(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|l| l.valid).count())
-            .sum()
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// How many slots of set `idx` were ever filled. Fills walk the set
+    /// left to right, so these form a prefix; `last_use > 0` marks them
+    /// (valid or since-invalidated).
+    fn materialized(&self, idx: usize) -> usize {
+        let base = idx * self.ways;
+        let len = (base..base + self.ways)
+            .rev()
+            .find(|&s| self.last_use[s] > 0)
+            .map_or(0, |s| s - base + 1);
+        debug_assert!(
+            (base..base + len).all(|s| self.last_use[s] > 0),
+            "materialized slots must be a prefix"
+        );
+        len
     }
 
     /// Exact internal state for checkpoint capture: the LRU clock plus
-    /// every set's slot array — including invalid slots, whose presence
-    /// affects future insert/grow decisions, so they must survive a
-    /// round-trip bit-for-bit.
+    /// every set's materialized slots — including invalid ones, whose
+    /// presence affects future insert decisions, so they must survive a
+    /// round-trip bit-for-bit. Untouched caches export no sets, exactly
+    /// like the lazily-materialized layout this replaces.
     pub(crate) fn export_state(&self) -> (u64, Vec<Vec<LineSlotState<M>>>)
     where
         M: Clone,
     {
-        let sets = self
-            .sets
-            .iter()
-            .map(|set| {
-                set.iter()
-                    .map(|l| (l.tag, l.meta.clone(), l.last_use, l.valid))
+        if !self.touched {
+            return (self.use_clock, Vec::new());
+        }
+        let sets = (0..self.set_count)
+            .map(|idx| {
+                let base = idx * self.ways;
+                (base..base + self.materialized(idx))
+                    .map(|s| {
+                        (
+                            self.tags[s],
+                            self.meta[s].clone(),
+                            self.last_use[s],
+                            self.is_valid(s),
+                        )
+                    })
                     .collect()
             })
             .collect();
         (self.use_clock, sets)
     }
 
-    /// Restores state captured by [`SetAssocCache::export_state`] into a
-    /// freshly-constructed cache of the same geometry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the set count disagrees with this cache's geometry
-    /// (a snapshot from a different configuration).
-    pub(crate) fn import_state(&mut self, use_clock: u64, sets: Vec<Vec<LineSlotState<M>>>) {
-        assert!(
-            sets.is_empty() || sets.len() == self.set_count,
-            "snapshot has {} sets, cache has {}",
-            sets.len(),
-            self.set_count
-        );
-        self.use_clock = use_clock;
-        self.sets = sets
-            .into_iter()
-            .map(|set| {
-                set.into_iter()
-                    .map(|(tag, meta, last_use, valid)| LineSlot {
-                        tag,
-                        meta,
-                        last_use,
-                        valid,
-                    })
-                    .collect()
-            })
-            .collect();
-    }
-
     /// Iterates over `(line_addr, &meta)` of all valid lines.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &M)> {
         let shift = self.line_shift;
-        self.sets
-            .iter()
-            .flatten()
-            .filter(|l| l.valid)
-            .map(move |l| (l.tag << shift, &l.meta))
-    }
-}
-
-impl<M: Default> SetAssocCache<M> {
-    /// Removes the line for `addr`, returning its metadata if present.
-    /// The slot is left invalid and will be reused by future inserts.
-    pub fn take(&mut self, addr: u64) -> Option<M> {
-        if self.sets.is_empty() {
-            return None;
-        }
-        let tag = self.tag(addr);
-        let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
-        for slot in set.iter_mut() {
-            if slot.valid && slot.tag == tag {
-                slot.valid = false;
-                return Some(std::mem::take(&mut slot.meta));
-            }
-        }
-        None
+        (0..self.set_count * self.ways)
+            .filter(|&s| self.is_valid(s))
+            .map(move |s| (self.tags[s] << shift, &self.meta[s]))
     }
 }
 
@@ -441,5 +482,45 @@ mod tests {
         c.take(0x80);
         c.insert(0x80, 2);
         c.insert(0x80, 3);
+    }
+
+    #[test]
+    fn untouched_cache_exports_no_sets() {
+        let c = cache();
+        let (clock, sets) = c.export_state();
+        assert_eq!(clock, 0);
+        assert!(sets.is_empty(), "pristine caches snapshot as empty");
+    }
+
+    #[test]
+    fn missed_lookup_still_materializes_the_export() {
+        // The old layout allocated its sets on the first state-changing
+        // probe even when it missed; snapshots see that, so the SoA
+        // layout must reproduce it.
+        let mut c = cache();
+        assert!(c.lookup_mut(0x1000).is_none());
+        let (clock, sets) = c.export_state();
+        assert_eq!(clock, 1);
+        assert_eq!(sets.len(), 4);
+        assert!(sets.iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn export_carries_invalidated_slots_and_reimports_exactly() {
+        let mut c = cache();
+        c.insert(0x0000, 1);
+        c.insert(0x0100, 2);
+        c.take(0x0000); // slot 0 of set 0: invalid but materialized
+        let (clock, sets) = c.export_state();
+        assert_eq!(sets[0].len(), 2, "taken slot still exported");
+        assert!(!sets[0][0].3 && sets[0][1].3);
+
+        let mut back: SetAssocCache<u32> = SetAssocCache::new(512, 2, 64);
+        back.import_state(clock, sets.clone());
+        assert_eq!(back.export_state(), (clock, sets));
+        // And the restored cache behaves identically: the freed slot is
+        // refilled without an eviction.
+        assert!(back.insert(0x0200, 3).is_none());
+        assert_eq!(back.resident(), 2);
     }
 }

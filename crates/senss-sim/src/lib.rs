@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod addrmap;
 pub mod bus;
 pub mod cache;
 pub mod config;
@@ -46,6 +47,7 @@ pub mod core;
 pub mod extension;
 pub mod memory;
 pub mod mesi;
+mod sched;
 pub mod stats;
 pub mod state;
 pub mod system;

@@ -394,6 +394,25 @@ impl Harness {
     /// [`HarnessConfig::trace_dir`] (named by cache key), recorded in
     /// their [`RunRecord::trace_artifact`].
     pub fn run(&self, sweep: &SweepSpec) -> std::io::Result<SweepResult> {
+        self.run_observed(sweep, |_| {})
+    }
+
+    /// Like [`run`](Harness::run), but invokes `on_record` once per
+    /// completed [`RunRecord`] — cache hits included — as each becomes
+    /// available, before the sweep as a whole finishes.
+    ///
+    /// Records are observed in **completion order**, not sweep order
+    /// (the returned [`SweepResult`] is still index-ordered as always);
+    /// each carries its [`RunRecord::index`], so observers that need
+    /// ordering can slot records by index. `senss-serve` uses this to
+    /// stream result lines to clients while the sweep is still
+    /// running. The callback runs on the collector thread; keep it
+    /// short or the sweep stalls.
+    pub fn run_observed(
+        &self,
+        sweep: &SweepSpec,
+        on_record: impl Fn(&RunRecord) + Sync,
+    ) -> std::io::Result<SweepResult> {
         let trace_dir = self.cfg.trace_dir.clone();
         let checkpoint_every = self.cfg.checkpoint_every;
         let max_attempts = self.cfg.max_attempts;
@@ -407,6 +426,7 @@ impl Harness {
                 },
             },
             self.cfg.warm_start,
+            &on_record,
         )
     }
 
@@ -419,7 +439,21 @@ impl Harness {
     where
         F: Fn(&JobSpec) -> Stats + Sync,
     {
-        self.run_rich(sweep, |spec| (runner(spec), None), false)
+        self.run_with_observed(sweep, runner, |_| {})
+    }
+
+    /// [`run_with`](Harness::run_with) plus the per-record observer of
+    /// [`run_observed`](Harness::run_observed).
+    pub fn run_with_observed<F>(
+        &self,
+        sweep: &SweepSpec,
+        runner: F,
+        on_record: impl Fn(&RunRecord) + Sync,
+    ) -> std::io::Result<SweepResult>
+    where
+        F: Fn(&JobSpec) -> Stats + Sync,
+    {
+        self.run_rich(sweep, |spec| (runner(spec), None), false, &on_record)
     }
 
     fn run_rich<F>(
@@ -427,6 +461,7 @@ impl Harness {
         sweep: &SweepSpec,
         runner: F,
         warm_start: bool,
+        on_record: &(dyn Fn(&RunRecord) + Sync),
     ) -> std::io::Result<SweepResult>
     where
         F: Fn(&JobSpec) -> (Stats, Option<String>) + Sync,
@@ -453,17 +488,21 @@ impl Harness {
                 .then(|| cache.as_ref().and_then(|c| c.get(&keys[index])))
                 .flatten();
             match hit {
-                Some(stats) => slots.push(Some(RunRecord {
-                    index,
-                    spec: *spec,
-                    key: keys[index].clone(),
-                    stats: stats.clone(),
-                    wall_micros: 0,
-                    worker: None,
-                    attempts: 0,
-                    cached: true,
-                    trace_artifact: None,
-                })),
+                Some(stats) => {
+                    let record = RunRecord {
+                        index,
+                        spec: *spec,
+                        key: keys[index].clone(),
+                        stats: stats.clone(),
+                        wall_micros: 0,
+                        worker: None,
+                        attempts: 0,
+                        cached: true,
+                        trace_artifact: None,
+                    };
+                    on_record(&record);
+                    slots.push(Some(record));
+                }
                 None => {
                     slots.push(None);
                     pending.push_back(index);
@@ -541,7 +580,7 @@ impl Harness {
                                     eprintln!("harness: cache write failed: {e}");
                                 }
                             }
-                            slots[index] = Some(RunRecord {
+                            let record = RunRecord {
                                 index,
                                 spec: jobs[index],
                                 key: keys[index].clone(),
@@ -551,7 +590,9 @@ impl Harness {
                                 attempts,
                                 cached: false,
                                 trace_artifact,
-                            });
+                            };
+                            on_record(&record);
+                            slots[index] = Some(record);
                         }
                         WorkerMsg::Failed(failure) => failures.push(failure),
                     }
@@ -1055,6 +1096,27 @@ mod tests {
         for job in &sweep.jobs {
             assert_eq!(cold.require(job), warm.require(job), "{job:?}");
         }
+    }
+
+    #[test]
+    fn observed_records_match_the_returned_sweep() {
+        use std::sync::Mutex;
+        let sweep = ops_sweep(&[400, 700, 1_000]);
+        let seen: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let result = Harness::new(HarnessConfig::hermetic())
+            .run_observed(&sweep, |r| {
+                seen.lock().unwrap().push((r.index, r.key.clone()));
+            })
+            .unwrap();
+        assert!(result.is_complete());
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        let expect: Vec<(usize, String)> = result
+            .records
+            .iter()
+            .map(|r| (r.index, r.key.clone()))
+            .collect();
+        assert_eq!(seen, expect);
     }
 
     #[test]

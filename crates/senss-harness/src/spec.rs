@@ -623,6 +623,47 @@ impl SweepSpec {
     pub fn is_empty(&self) -> bool {
         self.jobs.is_empty()
     }
+
+    /// Splits the sweep into at most `n` shards by deterministic
+    /// round-robin assignment (job `i` goes to shard `i % n`). Empty
+    /// shards are omitted, so the returned vector has
+    /// `min(n, self.len())` entries for a non-empty sweep.
+    ///
+    /// Within a shard, jobs keep their sweep order, so a shard's
+    /// results sorted by its [`SweepShard::indices`] interleave back
+    /// into exactly the original sweep order — the property the
+    /// `senss-serve` coordinator's ordered merge relies on for
+    /// byte-identical sharded results.
+    pub fn shards(&self, n: usize) -> Vec<SweepShard> {
+        let n = n.max(1);
+        let mut shards: Vec<SweepShard> = (0..n.min(self.jobs.len()))
+            .map(|shard| SweepShard {
+                shard,
+                indices: Vec::new(),
+                spec: SweepSpec::new(&format!("{}.s{shard}", self.name)),
+            })
+            .collect();
+        for (i, job) in self.jobs.iter().enumerate() {
+            let s = &mut shards[i % n];
+            s.indices.push(i);
+            s.spec.jobs.push(*job);
+        }
+        shards
+    }
+}
+
+/// One shard of a [`SweepSpec`], as produced by [`SweepSpec::shards`]:
+/// a sub-sweep plus the original sweep indices of its jobs (parallel to
+/// `spec.jobs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepShard {
+    /// Shard number (also the worker slot it is assigned to).
+    pub shard: usize,
+    /// Original sweep index of each job in [`spec`](SweepShard::spec),
+    /// in shard order. Strictly increasing by construction.
+    pub indices: Vec<usize>,
+    /// The jobs of this shard, as a submittable sweep.
+    pub spec: SweepSpec,
 }
 
 #[cfg(test)]
@@ -755,6 +796,42 @@ mod tests {
         }
         assert_eq!(TraceSpec::from_tag("micro:nope"), None);
         assert_eq!(coherence_from_tag("mesi"), None);
+    }
+
+    #[test]
+    fn shards_partition_round_robin_and_cover_every_job() {
+        let mut sweep = SweepSpec::new("shardme");
+        sweep.grid(
+            &Workload::all(),
+            &[2],
+            &[1 << 20],
+            &[SecurityMode::Baseline],
+            100,
+            1,
+        );
+        assert_eq!(sweep.len(), 5);
+        let shards = sweep.shards(2);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].indices, vec![0, 2, 4]);
+        assert_eq!(shards[1].indices, vec![1, 3]);
+        assert_eq!(shards[0].spec.name, "shardme.s0");
+        for s in &shards {
+            assert_eq!(s.indices.len(), s.spec.len());
+            for (&orig, job) in s.indices.iter().zip(&s.spec.jobs) {
+                assert_eq!(*job, sweep.jobs[orig], "shard {} job {orig}", s.shard);
+            }
+            // Ordered-merge precondition: indices strictly increase.
+            assert!(s.indices.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Determinism: the same split twice is identical.
+        assert_eq!(shards, sweep.shards(2));
+        // More shards than jobs: empty shards are omitted.
+        assert_eq!(sweep.shards(9).len(), 5);
+        // One shard is the whole sweep.
+        let whole = sweep.shards(1);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].spec.jobs, sweep.jobs);
+        assert!(SweepSpec::new("empty").shards(3).is_empty());
     }
 
     #[test]

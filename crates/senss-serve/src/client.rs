@@ -136,7 +136,28 @@ impl Client {
 
     /// Submits a sweep; no retry. Returns `(id, jobs accepted)`.
     pub fn submit_once(&self, sweep: &SweepSpec) -> Result<(u64, u64), ClientError> {
-        match self.call(&Request::Submit(sweep.clone()))? {
+        match self.call(&Request::Submit {
+            sweep: sweep.clone(),
+            indices: None,
+        })? {
+            (_, Response::Submitted { id, jobs }) => Ok((id, jobs)),
+            (_, other) => Err(unexpected("submitted", &other)),
+        }
+    }
+
+    /// Submits a shard of a larger sweep, tagging each job with its
+    /// position in the original sweep (`indices[i]` for job `i`) so the
+    /// result lines merge back byte-identically. Used by the cluster
+    /// coordinator; no retry.
+    pub fn submit_sharded(
+        &self,
+        sweep: &SweepSpec,
+        indices: &[u64],
+    ) -> Result<(u64, u64), ClientError> {
+        match self.call(&Request::Submit {
+            sweep: sweep.clone(),
+            indices: Some(indices.to_vec()),
+        })? {
             (_, Response::Submitted { id, jobs }) => Ok((id, jobs)),
             (_, other) => Err(unexpected("submitted", &other)),
         }
@@ -194,6 +215,69 @@ impl Client {
             Response::End { count: n, .. } if n == count => Ok(lines),
             other => Err(unexpected("end", &other)),
         }
+    }
+
+    /// Streams a sweep's result lines progressively, invoking
+    /// `on_line` for each record line as the server ships it — in index
+    /// order, while the sweep is still running. Blocks until the
+    /// server's `end` trailer; returns the number of lines delivered.
+    ///
+    /// Unlike [`results`](Client::results), the sweep may be queued or
+    /// running when the stream is opened; the connection then waits on
+    /// job completions, so size the client timeout to the sweep, not to
+    /// one round-trip.
+    pub fn stream_with(
+        &self,
+        id: u64,
+        mut on_line: impl FnMut(&str),
+    ) -> Result<u64, ClientError> {
+        let (mut reader, header) = self.call(&Request::Stream { id })?;
+        match header {
+            Response::StreamHeader { .. } => {}
+            other => return Err(unexpected("stream", &other)),
+        }
+        let mut delivered = 0u64;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Protocol(
+                    "stream ended without an end frame".to_string(),
+                ));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            let kind = senss_harness::json::parse(line)
+                .ok()
+                .and_then(|v| v.get("type").and_then(|t| t.as_str().map(String::from)));
+            if kind.as_deref() == Some("record") {
+                delivered += 1;
+                on_line(line);
+                continue;
+            }
+            return match Response::decode(line) {
+                Ok(Response::End { count, .. }) if count == delivered => Ok(delivered),
+                Ok(Response::End { count, .. }) => Err(ClientError::Protocol(format!(
+                    "stream end frame promised {count} lines but {delivered} arrived"
+                ))),
+                Ok(Response::Error {
+                    class,
+                    retriable,
+                    message,
+                }) => Err(ClientError::Server {
+                    class,
+                    retriable,
+                    message,
+                }),
+                Ok(other) => Err(unexpected("end", &other)),
+                Err(m) => Err(ClientError::Protocol(m)),
+            };
+        }
+    }
+
+    /// Streams a sweep's result lines progressively and collects them.
+    pub fn stream_raw(&self, id: u64) -> Result<Vec<String>, ClientError> {
+        let mut lines = Vec::new();
+        self.stream_with(id, |l| lines.push(l.to_string()))?;
+        Ok(lines)
     }
 
     /// Streams and parses a finished sweep's results.

@@ -8,30 +8,44 @@
 //!
 //! * [`protocol`] — versioned request/response frames (`submit` a
 //!   [`SweepSpec`](senss_harness::SweepSpec), `status`, streamed
-//!   `results`, `metrics`, `shutdown`) plus the deterministic per-job
-//!   result-line codec.
-//! * [`server`] — bounded accept/worker pools and a bounded job queue
-//!   that **rejects with a retriable `overloaded` error instead of
-//!   blocking**; per-connection read/write timeouts; malformed frames
-//!   answered, never fatal; drain-then-exit shutdown.
+//!   `results` and progressive `stream`, `metrics`, `shutdown`) plus
+//!   the deterministic per-job result-line codec and the `indices`
+//!   sharding extension.
+//! * [`server`] — a `poll(2)`-based event loop (one thread, every
+//!   connection; see [`sys`]) over a bounded job queue that **rejects
+//!   with a retriable `overloaded` error instead of blocking**;
+//!   idle/stalled-connection reclaim; malformed frames answered, never
+//!   fatal; drain-then-exit shutdown.
+//! * [`coordinator`] / [`worker`] — the cluster tier: a coordinator
+//!   shards each sweep across supervised `senss-serve worker`
+//!   processes with kill-and-respawn retry, merging streamed results
+//!   byte-identically to a local run.
 //! * [`metrics`] — lock-free in-process registry (request/error
-//!   counters, executed-vs-cached jobs, queue-depth gauge, wall-latency
+//!   counters, executed-vs-cached jobs, queue-depth and
+//!   open-connection gauges, per-worker shard counters, wall-latency
 //!   histogram) snapshotted into `metrics` responses.
 //! * [`client`] — a blocking client used by the `senss-serve` CLI, the
 //!   loopback tests, and `senss-bench`'s `SENSS_SERVE` bridge.
 //!
-//! See `docs/serving.md` for the protocol reference, failure and
-//! backpressure semantics, and the metrics glossary.
+//! See `docs/serving.md` for the protocol reference, cluster topology,
+//! failure and backpressure semantics, and the metrics glossary.
 
-#![forbid(unsafe_code)]
+// The only `unsafe` in the workspace is the single `poll(2)` FFI call
+// in [`sys`], which opts in locally.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod coordinator;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod sys;
+pub mod worker;
 
 pub use client::{Client, ClientError};
+pub use coordinator::{ClusterConfig, Coordinator};
 pub use metrics::Metrics;
 pub use protocol::{ErrorClass, JobResult, Request, Response, StatusInfo, SweepState};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use worker::WorkerProc;

@@ -1,32 +1,44 @@
 //! `senss-serve` — serve the SENSS simulator over TCP, and talk to it.
 //!
 //! ```text
-//! senss-serve serve    [--addr 127.0.0.1:4765] [--conn-workers 8] [--queue 32] [--quiet]
+//! senss-serve serve    [--addr 127.0.0.1:4765] [--queue 32] [--max-conns 4096]
+//!                      [--trace-workers 2] [--workers N] [--shard-retries 2]
+//!                      [--hermetic] [--quiet]
+//! senss-serve worker   [--addr 127.0.0.1:0] [--queue 32] [--stall-ms 0]
+//!                      [--hermetic] [--quiet]
 //! senss-serve submit   [--addr ...] [--name s] [--workloads fft,ocean] [--cores 2]
 //!                      [--l2-mb 1] [--modes baseline,senss] [--ops 2000] [--seed 42]
 //!                      [--file sweep.json] [--wait] [--poll-ms 200]
 //! senss-serve status   --id N [--addr ...]
 //! senss-serve results  --id N [--addr ...]
+//! senss-serve stream   --id N [--addr ...]
 //! senss-serve trace    --id N --index J [--addr ...]
 //! senss-serve metrics  [--addr ...]
 //! senss-serve ping     [--addr ...]
 //! senss-serve shutdown [--addr ...]
 //! ```
 //!
-//! The server honours the usual `HARNESS_*` environment knobs (workers,
-//! retries, cache) for sweep execution; see `docs/serving.md`.
+//! `serve --workers N` runs the process as a cluster coordinator: each
+//! sweep is sharded across N supervised `senss-serve worker` child
+//! processes (spawned from this same executable). `worker` is the
+//! child-process mode: it binds an ephemeral port and prints the bound
+//! address as its first stdout line. The server honours the usual
+//! `HARNESS_*` environment knobs (workers, retries, cache) for sweep
+//! execution; see `docs/serving.md`.
 
 use senss_harness::json::{self, Value};
-use senss_harness::{decode_spec, JobSpec, SecurityMode, SweepSpec};
-use senss_serve::{Client, Server, ServerConfig};
+use senss_harness::{decode_spec, HarnessConfig, JobSpec, SecurityMode, SweepSpec};
+use senss_serve::{Client, ClusterConfig, Server, ServerConfig};
 use senss_workloads::Workload;
+use std::io::Write;
+use std::sync::Arc;
 use std::time::Duration;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:4765";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: senss-serve <serve|submit|status|results|trace|metrics|ping|shutdown> [flags]\n\
+        "usage: senss-serve <serve|worker|submit|status|results|stream|trace|metrics|ping|shutdown> [flags]\n\
          run `senss-serve help` or see docs/serving.md for the flag reference"
     );
     std::process::exit(2);
@@ -49,7 +61,7 @@ impl Flags {
                 usage();
             };
             // Valueless switches.
-            if matches!(key, "wait" | "quiet") {
+            if matches!(key, "wait" | "quiet" | "hermetic") {
                 pairs.push((key.to_string(), "true".to_string()));
                 i += 1;
                 continue;
@@ -85,6 +97,21 @@ impl Flags {
     fn has(&self, key: &str) -> bool {
         self.get(key).is_some()
     }
+
+    /// A flag the subcommand cannot work without: absence is reported
+    /// explicitly (never papered over with a sentinel value).
+    fn require_u64(&self, key: &str) -> u64 {
+        match self.get(key) {
+            None => {
+                eprintln!("senss-serve: missing required flag --{key}");
+                std::process::exit(2);
+            }
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("senss-serve: bad value for --{key}: {v:?} (expected an id)");
+                std::process::exit(2);
+            }),
+        }
+    }
 }
 
 fn client(flags: &Flags) -> Client {
@@ -97,9 +124,11 @@ fn main() {
     let flags = Flags::parse(&argv[1..]);
     match cmd.as_str() {
         "serve" => serve(&flags),
+        "worker" => worker(&flags),
         "submit" => submit(&flags),
         "status" => status(&flags),
         "results" => results(&flags),
+        "stream" => stream(&flags),
         "trace" => trace(&flags),
         "metrics" => metrics(&flags),
         "ping" => ping(&flags),
@@ -108,17 +137,65 @@ fn main() {
     }
 }
 
-fn serve(flags: &Flags) -> ! {
-    let mut cfg = ServerConfig::new(flags.get_or("addr", DEFAULT_ADDR))
-        .with_conn_workers(flags.parse_or("conn-workers", 8))
-        .with_queue_capacity(flags.parse_or("queue", 32));
+fn base_config(flags: &Flags, default_addr: &str) -> ServerConfig {
+    let mut cfg = ServerConfig::new(flags.get_or("addr", default_addr))
+        .with_queue_capacity(flags.parse_or("queue", 32))
+        .with_max_conns(flags.parse_or("max-conns", 4096));
+    cfg.trace_workers = flags.parse_or("trace-workers", 2);
     cfg.quiet = flags.has("quiet");
-    let server = Server::start(cfg).unwrap_or_else(|e| fail(format_args!("bind failed: {e}")));
+    if flags.has("hermetic") {
+        cfg = cfg.with_harness(HarnessConfig::hermetic().with_workers(
+            std::thread::available_parallelism().map_or(2, |n| n.get()),
+        ));
+    }
+    cfg
+}
+
+fn serve(flags: &Flags) -> ! {
+    let mut cfg = base_config(flags, DEFAULT_ADDR);
+    let workers: usize = flags.parse_or("workers", 0);
+    if workers > 0 {
+        let program = std::env::current_exe()
+            .unwrap_or_else(|e| fail(format_args!("cannot locate own executable: {e}")));
+        let mut cluster = ClusterConfig::new(workers, program.to_string_lossy())
+            .with_shard_retries(flags.parse_or("shard-retries", 2));
+        if flags.has("hermetic") {
+            cluster = cluster.with_worker_arg("--hermetic");
+        }
+        if flags.has("quiet") {
+            cluster = cluster.with_worker_arg("--quiet");
+        }
+        cfg = cfg.with_cluster(cluster);
+    }
+    let server = Server::start(cfg)
+        .unwrap_or_else(|e| fail(format_args!("bind or worker spawn failed: {e}")));
     // The listening line goes to stderr so piped stdout stays clean; CI
     // smoke greps for it.
     eprintln!("senss-serve: listening on {}", server.addr());
     server.join();
     eprintln!("senss-serve: drained and exited");
+    std::process::exit(0);
+}
+
+/// Cluster child-process mode: bind (default an ephemeral port), print
+/// the bound address as the first stdout line — the coordinator's
+/// readiness handshake — then serve until told to shut down.
+fn worker(flags: &Flags) -> ! {
+    let mut cfg = base_config(flags, "127.0.0.1:0");
+    let stall = Duration::from_millis(flags.parse_or("stall-ms", 0u64));
+    if !stall.is_zero() {
+        // Fault-injection aid: stretch each job's wall time without
+        // touching its deterministic result, so tests can kill a worker
+        // reliably mid-sweep.
+        cfg = cfg.with_runner(Arc::new(move |job: &JobSpec| {
+            std::thread::sleep(stall);
+            job.run()
+        }));
+    }
+    let server = Server::start(cfg).unwrap_or_else(|e| fail(format_args!("bind failed: {e}")));
+    println!("{}", server.addr());
+    let _ = std::io::stdout().flush();
+    server.join();
     std::process::exit(0);
 }
 
@@ -211,10 +288,7 @@ fn submit(flags: &Flags) {
 }
 
 fn status(flags: &Flags) {
-    let id = flags.parse_or("id", u64::MAX);
-    if id == u64::MAX {
-        usage();
-    }
+    let id = flags.require_u64("id");
     let info = client(flags)
         .status(id)
         .unwrap_or_else(|e| fail(format_args!("status failed: {e}")));
@@ -232,10 +306,7 @@ fn status(flags: &Flags) {
 }
 
 fn results(flags: &Flags) {
-    let id = flags.parse_or("id", u64::MAX);
-    if id == u64::MAX {
-        usage();
-    }
+    let id = flags.require_u64("id");
     for line in client(flags)
         .results_raw(id)
         .unwrap_or_else(|e| fail(format_args!("results failed: {e}")))
@@ -244,15 +315,22 @@ fn results(flags: &Flags) {
     }
 }
 
+/// Streams a sweep's result lines progressively, printing each as it
+/// arrives — usable on a sweep that is still queued or running.
+fn stream(flags: &Flags) {
+    let id = flags.require_u64("id");
+    // One sweep can run much longer than a round-trip; let the server's
+    // completion pace the stream rather than the client timeout.
+    let streamer = client(flags).with_timeout(Duration::from_secs(24 * 60 * 60));
+    let delivered = streamer
+        .stream_with(id, |line| println!("{line}"))
+        .unwrap_or_else(|e| fail(format_args!("stream failed: {e}")));
+    eprintln!("senss-serve: streamed {delivered} result line(s) for sweep {id}");
+}
+
 fn trace(flags: &Flags) {
-    let id = flags.parse_or("id", u64::MAX);
-    if id == u64::MAX {
-        usage();
-    }
-    let index = flags.parse_or("index", u64::MAX);
-    if index == u64::MAX {
-        usage();
-    }
+    let id = flags.require_u64("id");
+    let index = flags.require_u64("index");
     let derived = client(flags)
         .trace(id, index)
         .unwrap_or_else(|e| fail(format_args!("trace failed: {e}")));

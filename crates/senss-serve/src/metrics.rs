@@ -78,6 +78,8 @@ pub struct Metrics {
     pub requests_status: AtomicU64,
     /// `results` requests served.
     pub requests_results: AtomicU64,
+    /// `stream` requests served.
+    pub requests_stream: AtomicU64,
     /// `trace` requests served.
     pub requests_trace: AtomicU64,
     /// `metrics` requests served.
@@ -115,14 +117,56 @@ pub struct Metrics {
     pub queue_depth: AtomicU64,
     /// High-water mark of the sweep queue.
     pub queue_depth_max: AtomicU64,
+    /// Open client connections on the event loop (gauge).
+    pub connections_open: AtomicU64,
+    /// Shards handed to cluster workers (0 unless running as a
+    /// coordinator).
+    pub shards_dispatched: AtomicU64,
+    /// Shards whose results merged back successfully.
+    pub shards_completed: AtomicU64,
+    /// Shards re-dispatched after a worker error or death.
+    pub shard_retries: AtomicU64,
+    /// Worker processes respawned after dying or misbehaving.
+    pub workers_respawned: AtomicU64,
+    /// Per-worker counters, sized by [`Metrics::with_workers`]; empty
+    /// outside coordinator mode.
+    workers: Vec<WorkerStats>,
     /// Request wall-latency histogram (parse → response flushed).
     pub latency: LatencyHistogram,
+}
+
+/// Per-worker-slot counters for coordinator mode. A slot survives its
+/// process: when a worker dies and is respawned, the replacement keeps
+/// accumulating into the same slot.
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Shards this worker slot completed.
+    pub shards: AtomicU64,
+    /// Jobs this worker slot executed or served from its cache.
+    pub jobs: AtomicU64,
+    /// Times this slot's process was respawned.
+    pub respawns: AtomicU64,
 }
 
 impl Metrics {
     /// A zeroed registry.
     pub fn new() -> Metrics {
         Metrics::default()
+    }
+
+    /// A zeroed registry with `n` per-worker counter slots, for
+    /// coordinator mode. The snapshot gains `worker_{i}_shards`,
+    /// `worker_{i}_jobs` and `worker_{i}_respawns` fields.
+    pub fn with_workers(n: usize) -> Metrics {
+        Metrics {
+            workers: (0..n).map(|_| WorkerStats::default()).collect(),
+            ..Metrics::default()
+        }
+    }
+
+    /// The per-worker counters for slot `i`, if this registry has them.
+    pub fn worker(&self, i: usize) -> Option<&WorkerStats> {
+        self.workers.get(i)
     }
 
     /// Counts one dispatched request of the given wire kind.
@@ -132,6 +176,7 @@ impl Metrics {
             "submit" => &self.requests_submit,
             "status" => &self.requests_status,
             "results" => &self.requests_results,
+            "stream" => &self.requests_stream,
             "trace" => &self.requests_trace,
             "metrics" => &self.requests_metrics,
             "ping" => &self.requests_ping,
@@ -184,6 +229,7 @@ impl Metrics {
             ("requests_submit".to_string(), get(&self.requests_submit)),
             ("requests_status".to_string(), get(&self.requests_status)),
             ("requests_results".to_string(), get(&self.requests_results)),
+            ("requests_stream".to_string(), get(&self.requests_stream)),
             ("requests_trace".to_string(), get(&self.requests_trace)),
             ("requests_metrics".to_string(), get(&self.requests_metrics)),
             ("requests_ping".to_string(), get(&self.requests_ping)),
@@ -208,7 +254,23 @@ impl Metrics {
             ),
             ("queue_depth".to_string(), get(&self.queue_depth)),
             ("queue_depth_max".to_string(), get(&self.queue_depth_max)),
+            ("connections_open".to_string(), get(&self.connections_open)),
+            (
+                "shards_dispatched".to_string(),
+                get(&self.shards_dispatched),
+            ),
+            ("shards_completed".to_string(), get(&self.shards_completed)),
+            ("shard_retries".to_string(), get(&self.shard_retries)),
+            (
+                "workers_respawned".to_string(),
+                get(&self.workers_respawned),
+            ),
         ];
+        for (i, w) in self.workers.iter().enumerate() {
+            fields.push((format!("worker_{i}_shards"), get(&w.shards)));
+            fields.push((format!("worker_{i}_jobs"), get(&w.jobs)));
+            fields.push((format!("worker_{i}_respawns"), get(&w.respawns)));
+        }
         for (class, counter) in ErrorClass::ALL.iter().zip(&self.errors) {
             fields.push((format!("errors_{}", class.tag()), get(counter)));
         }
@@ -259,6 +321,25 @@ mod tests {
         assert_eq!(snap.get("queue_depth").unwrap().as_u64(), Some(1));
         assert_eq!(snap.get("queue_depth_max").unwrap().as_u64(), Some(2));
         assert_eq!(m.errors(ErrorClass::Overloaded), 2);
+    }
+
+    #[test]
+    fn per_worker_slots_appear_in_the_snapshot() {
+        let m = Metrics::with_workers(2);
+        m.worker(0).unwrap().shards.fetch_add(3, Ordering::Relaxed);
+        m.worker(1).unwrap().jobs.fetch_add(7, Ordering::Relaxed);
+        m.worker(1)
+            .unwrap()
+            .respawns
+            .fetch_add(1, Ordering::Relaxed);
+        assert!(m.worker(2).is_none());
+        let snap = m.snapshot();
+        assert_eq!(snap.get("worker_0_shards").unwrap().as_u64(), Some(3));
+        assert_eq!(snap.get("worker_0_jobs").unwrap().as_u64(), Some(0));
+        assert_eq!(snap.get("worker_1_jobs").unwrap().as_u64(), Some(7));
+        assert_eq!(snap.get("worker_1_respawns").unwrap().as_u64(), Some(1));
+        // Plain registries carry no per-worker fields at all.
+        assert!(Metrics::new().snapshot().get("worker_0_shards").is_none());
     }
 
     #[test]

@@ -12,20 +12,32 @@
 //! | → | `submit` | enqueue a [`SweepSpec`] for execution |
 //! | → | `status` | query a submitted sweep's state |
 //! | → | `results` | stream a finished sweep's per-job results |
+//! | → | `stream` | stream a sweep's results progressively, while it runs |
 //! | → | `trace` | derive trace metrics for one job of a finished sweep |
 //! | → | `metrics` | snapshot the server's metrics registry |
 //! | → | `ping` | liveness probe |
 //! | → | `shutdown` | drain the job queue, then exit |
-//! | ← | `submitted`, `status`, `results`, `record`…, `end`, `trace`, `metrics`, `pong`, `shutting_down` | success frames |
+//! | ← | `submitted`, `status`, `results`, `stream`, `record`…, `end`, `trace`, `metrics`, `pong`, `shutting_down` | success frames |
 //! | ← | `error` | structured failure (`class`, `retriable`, `message`) |
 //!
-//! A `results` success reply is the only multi-line exchange: one
-//! `results` header, then exactly `count` [`result_line`] frames, then
-//! one `end` frame. Result lines are **deterministic**: they carry the
-//! job's identity ([`encode_spec`] fields + cache key) and its full
-//! [`Stats`], and deliberately omit wall time, worker id, attempts and
-//! cache provenance — so the bytes a client receives are identical to a
+//! `results` and `stream` replies are the only multi-line exchanges: a
+//! header frame, then [`result_line`] frames, then one `end` frame.
+//! `results` requires the sweep to be done and ships exactly `count`
+//! lines at once; `stream` accepts a queued or running sweep and ships
+//! each record line as the job completes, **in index order** (line for
+//! index `i` is held until every line below `i` has shipped, so the
+//! concatenation is always a prefix of the final JSONL). Result lines
+//! are **deterministic**: they carry the job's identity
+//! ([`encode_spec`] fields + cache key) and its full [`Stats`], and
+//! deliberately omit wall time, worker id, attempts and cache
+//! provenance — so the bytes a client receives are identical to a
 //! local [`Harness`](senss_harness::Harness) run of the same spec.
+//!
+//! A `submit` frame may carry an optional `"indices"` array (one u64
+//! per job): the original sweep positions of each job. A coordinator
+//! sharding one sweep across workers uses it so each worker's result
+//! lines carry the *original* indices and merge back byte-identically;
+//! plain clients omit it (indices default to `0..jobs`).
 //!
 //! See `docs/serving.md` for the prose reference.
 
@@ -135,7 +147,14 @@ impl SweepState {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Enqueue a sweep.
-    Submit(SweepSpec),
+    Submit {
+        /// The sweep to run.
+        sweep: SweepSpec,
+        /// Original sweep positions of each job, for sharded submits;
+        /// `None` means the identity mapping `0..jobs`. When present,
+        /// must be exactly one index per job.
+        indices: Option<Vec<u64>>,
+    },
     /// Query a sweep's state.
     Status {
         /// Server-assigned sweep id.
@@ -143,6 +162,12 @@ pub enum Request {
     },
     /// Stream a finished sweep's results.
     Results {
+        /// Server-assigned sweep id.
+        id: u64,
+    },
+    /// Stream a sweep's results progressively: record lines ship in
+    /// index order as jobs complete, without waiting for the sweep.
+    Stream {
         /// Server-assigned sweep id.
         id: u64,
     },
@@ -167,9 +192,10 @@ impl Request {
     /// The wire tag, also the per-request-type metrics label.
     pub fn kind(&self) -> &'static str {
         match self {
-            Request::Submit(_) => "submit",
+            Request::Submit { .. } => "submit",
             Request::Status { .. } => "status",
             Request::Results { .. } => "results",
+            Request::Stream { .. } => "stream",
             Request::Trace { .. } => "trace",
             Request::Metrics => "metrics",
             Request::Ping => "ping",
@@ -184,7 +210,7 @@ impl Request {
             ("type".to_string(), Value::Str(self.kind().to_string())),
         ];
         match self {
-            Request::Submit(sweep) => {
+            Request::Submit { sweep, indices } => {
                 fields.push(("name".to_string(), Value::Str(sweep.name.clone())));
                 fields.push((
                     "jobs".to_string(),
@@ -196,8 +222,14 @@ impl Request {
                             .collect(),
                     ),
                 ));
+                if let Some(indices) = indices {
+                    fields.push((
+                        "indices".to_string(),
+                        Value::Arr(indices.iter().map(|&i| Value::UInt(i)).collect()),
+                    ));
+                }
             }
-            Request::Status { id } | Request::Results { id } => {
+            Request::Status { id } | Request::Results { id } | Request::Stream { id } => {
                 fields.push(("id".to_string(), Value::UInt(*id)));
             }
             Request::Trace { id, index } => {
@@ -255,10 +287,43 @@ impl Request {
                         ))
                     })
                     .collect::<Result<_, _>>()?;
-                Ok(Request::Submit(SweepSpec { name, jobs }))
+                let indices = match v.get("indices") {
+                    None => None,
+                    Some(arr) => {
+                        let arr = arr.as_arr().ok_or((
+                            ErrorClass::Malformed,
+                            "indices must be an array".to_string(),
+                        ))?;
+                        let indices: Vec<u64> = arr
+                            .iter()
+                            .map(|i| {
+                                i.as_u64().ok_or((
+                                    ErrorClass::Malformed,
+                                    "indices must be unsigned integers".to_string(),
+                                ))
+                            })
+                            .collect::<Result<_, _>>()?;
+                        if indices.len() != jobs.len() {
+                            return Err((
+                                ErrorClass::Malformed,
+                                format!(
+                                    "indices count {} does not match job count {}",
+                                    indices.len(),
+                                    jobs.len()
+                                ),
+                            ));
+                        }
+                        Some(indices)
+                    }
+                };
+                Ok(Request::Submit {
+                    sweep: SweepSpec { name, jobs },
+                    indices,
+                })
             }
             "status" => Ok(Request::Status { id: id()? }),
             "results" => Ok(Request::Results { id: id()? }),
+            "stream" => Ok(Request::Stream { id: id()? }),
             "trace" => Ok(Request::Trace {
                 id: id()?,
                 index: v.get("index").and_then(Value::as_u64).ok_or_else(|| {
@@ -327,6 +392,16 @@ pub enum Response {
         id: u64,
         /// Number of result lines that follow.
         count: u64,
+    },
+    /// Header preceding a progressive result stream: record lines
+    /// follow as jobs complete (in index order), then one `end` frame
+    /// whose `count` is the lines actually shipped (jobs that failed
+    /// permanently produce no line, so `count ≤ jobs`).
+    StreamHeader {
+        /// The sweep the stream belongs to.
+        id: u64,
+        /// Total jobs in the sweep (upper bound on record lines).
+        jobs: u64,
     },
     /// Terminator after the streamed result lines.
     End {
@@ -407,6 +482,13 @@ impl Response {
                     ("count".to_string(), Value::UInt(*count)),
                 ],
             ),
+            Response::StreamHeader { id, jobs } => obj(
+                "stream",
+                vec![
+                    ("id".to_string(), Value::UInt(*id)),
+                    ("jobs".to_string(), Value::UInt(*jobs)),
+                ],
+            ),
             Response::End { id, count } => obj(
                 "end",
                 vec![
@@ -479,6 +561,10 @@ impl Response {
                 id: uint("id")?,
                 count: uint("count")?,
             }),
+            "stream" => Ok(Response::StreamHeader {
+                id: uint("id")?,
+                jobs: uint("jobs")?,
+            }),
             "end" => Ok(Response::End {
                 id: uint("id")?,
                 count: uint("count")?,
@@ -510,9 +596,17 @@ impl Response {
 /// provenance — so a sweep's result lines are byte-identical whether it
 /// ran remotely, locally, single-threaded, or from a warm cache.
 pub fn result_line(rec: &RunRecord) -> String {
+    result_line_indexed(rec, rec.index as u64)
+}
+
+/// [`result_line`] with the `index` field overridden. A worker running
+/// one shard of a larger sweep emits lines carrying the job's position
+/// in the **original** sweep (from the submit frame's `indices`), so a
+/// coordinator's ordered merge is byte-identical to an unsharded run.
+pub fn result_line_indexed(rec: &RunRecord, index: u64) -> String {
     let mut fields = vec![
         ("type".to_string(), Value::Str("record".to_string())),
-        ("index".to_string(), Value::UInt(rec.index as u64)),
+        ("index".to_string(), Value::UInt(index)),
         ("key".to_string(), Value::Str(rec.key.clone())),
     ];
     fields.extend(encode_spec(&rec.spec));
@@ -563,9 +657,17 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = [
-            Request::Submit(sample_sweep()),
+            Request::Submit {
+                sweep: sample_sweep(),
+                indices: None,
+            },
+            Request::Submit {
+                sweep: sample_sweep(),
+                indices: Some((0..sample_sweep().jobs.len() as u64).map(|i| i * 3).collect()),
+            },
             Request::Status { id: 3 },
             Request::Results { id: u64::MAX },
+            Request::Stream { id: 12 },
             Request::Trace { id: 7, index: 2 },
             Request::Metrics,
             Request::Ping,
@@ -574,6 +676,19 @@ mod tests {
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()), Ok(req));
         }
+    }
+
+    #[test]
+    fn submit_indices_must_match_job_count() {
+        let sweep = sample_sweep();
+        let encoded = Request::Submit {
+            sweep: sweep.clone(),
+            indices: Some((0..sweep.jobs.len() as u64 - 1).collect()),
+        }
+        .encode();
+        let err = Request::decode(&encoded).unwrap_err();
+        assert_eq!(err.0, ErrorClass::Malformed);
+        assert!(err.1.contains("indices"), "{}", err.1);
     }
 
     #[test]
@@ -590,6 +705,7 @@ mod tests {
                 message: String::new(),
             }),
             Response::ResultsHeader { id: 1, count: 4 },
+            Response::StreamHeader { id: 1, jobs: 4 },
             Response::End { id: 1, count: 4 },
             Response::Trace {
                 id: 1,

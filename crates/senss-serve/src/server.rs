@@ -1,32 +1,49 @@
-//! The multi-threaded TCP server.
+//! The poll-based TCP server.
 //!
-//! Thread shape: one accept thread, a fixed pool of connection-handler
-//! threads fed by a **bounded** pending-connection queue, and one
-//! executor thread that drains a **bounded** sweep queue through the
-//! [`Harness`]. Both bounds shed load instead of blocking: a full
-//! pending-connection queue turns the connection away with an
-//! `overloaded` error frame, and a full sweep queue rejects `submit`
-//! with the same retriable class — the server's latency stays flat and
-//! clients are told to back off (see `docs/serving.md`).
+//! Thread shape: one event-loop thread owns the listener and **every**
+//! client connection through a `poll(2)` readiness set ([`crate::sys`])
+//! — an idle connection costs one pollfd and two buffers, not a
+//! thread, so thousands of idle clients are cheap. Beside it run one
+//! executor thread draining a **bounded** sweep queue through the
+//! [`Harness`] (or through a [`Coordinator`] sharding sweeps across
+//! worker processes), and a small fixed pool of trace threads so
+//! `trace` re-simulations never stall the event loop.
+//!
+//! Both bounds shed load instead of blocking: past `max_conns` a new
+//! connection gets an `overloaded` frame and is closed, and a full
+//! sweep queue rejects `submit` with the same retriable class — the
+//! server's latency stays flat and clients are told to back off (see
+//! `docs/serving.md`).
+//!
+//! Results stream instead of buffering: a `results` or `stream` reply
+//! is pumped into the connection's write buffer a few lines at a time
+//! under a high-water mark, and `stream` ships each record line as the
+//! executor completes the job (in index order), so a slow client or a
+//! huge sweep never balloons server memory.
 //!
 //! Degradation rules: a malformed frame produces an `error` reply and
 //! the connection keeps being served; a frame over the size cap or an
-//! idle/read-timeout closes only that connection; per-job panics are
-//! already isolated inside the harness. Nothing a client sends can
-//! take the process down.
+//! idle/stalled-write timeout closes only that connection; per-job
+//! panics are already isolated inside the harness. Nothing a client
+//! sends can take the process down.
 //!
 //! Shutdown is drain-then-exit: after a `shutdown` frame (or
 //! [`ServerHandle::shutdown`]) the server stops accepting work, the
-//! executor finishes every queued sweep, and all threads join.
+//! executor finishes every queued sweep, open streams flush, and all
+//! threads join.
 
+use crate::coordinator::{ClusterConfig, Coordinator};
 use crate::metrics::Metrics;
 use crate::protocol::{ErrorClass, Request, Response, StatusInfo, SweepState};
-use senss_harness::{Harness, HarnessConfig, JobSpec, SweepSpec};
+use crate::sys::{self, PollFd};
+use senss_harness::{Harness, HarnessConfig, JobSpec, RunRecord, SweepSpec};
 use senss_sim::Stats;
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -36,29 +53,45 @@ use std::time::{Duration, Instant};
 /// [`JobSpec::run`].
 pub type JobRunner = Arc<dyn Fn(&JobSpec) -> Stats + Send + Sync>;
 
+/// Maximum poll wait per event-loop tick. Executor completions and
+/// trace results are picked up on the next tick, so this bounds the
+/// extra latency of streamed lines without any wake-up plumbing.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Per-connection write-buffer high-water mark: response pumping stops
+/// above it and resumes as the socket drains, so one slow client
+/// buffers at most this much (plus one frame).
+const WRITE_HIGH_WATER: usize = 256 * 1024;
+
 /// Server configuration.
 #[derive(Clone)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:4765` (`:0` picks a free port).
     pub addr: String,
-    /// Connection-handler thread count.
-    pub conn_workers: usize,
-    /// Bound on accepted-but-unhandled connections; beyond it new
+    /// Bound on concurrently open client connections; beyond it new
     /// connections get an `overloaded` frame and are closed.
-    pub pending_conns: usize,
+    pub max_conns: usize,
     /// Bound on queued (not yet running) sweeps; beyond it `submit`
     /// returns the retriable `overloaded` error.
     pub queue_capacity: usize,
-    /// Per-connection read timeout (idle connections are closed).
+    /// Idle timeout: a connection with no traffic and nothing pending
+    /// for this long is closed.
     pub read_timeout: Duration,
-    /// Per-connection write timeout.
+    /// Write-stall timeout: a connection whose pending output makes no
+    /// progress for this long is closed.
     pub write_timeout: Duration,
     /// Maximum request-frame size in bytes.
     pub max_frame_bytes: usize,
+    /// Threads serving `trace` re-simulations (they are CPU-bound and
+    /// must never run on the event loop).
+    pub trace_workers: usize,
     /// Harness configuration for sweep execution.
     pub harness: HarnessConfig,
     /// Test hook: replaces [`JobSpec::run`].
     pub runner: Option<JobRunner>,
+    /// Run as a coordinator: shard each sweep across this many worker
+    /// processes instead of executing locally.
+    pub cluster: Option<ClusterConfig>,
     /// Suppress stderr logging.
     pub quiet: bool,
 }
@@ -67,14 +100,15 @@ impl std::fmt::Debug for ServerConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerConfig")
             .field("addr", &self.addr)
-            .field("conn_workers", &self.conn_workers)
-            .field("pending_conns", &self.pending_conns)
+            .field("max_conns", &self.max_conns)
             .field("queue_capacity", &self.queue_capacity)
             .field("read_timeout", &self.read_timeout)
             .field("write_timeout", &self.write_timeout)
             .field("max_frame_bytes", &self.max_frame_bytes)
+            .field("trace_workers", &self.trace_workers)
             .field("harness", &self.harness)
             .field("runner", &self.runner.as_ref().map(|_| "<custom>"))
+            .field("cluster", &self.cluster)
             .field("quiet", &self.quiet)
             .finish()
     }
@@ -86,14 +120,15 @@ impl ServerConfig {
     pub fn new(addr: impl Into<String>) -> ServerConfig {
         ServerConfig {
             addr: addr.into(),
-            conn_workers: 8,
-            pending_conns: 64,
+            max_conns: 4096,
             queue_capacity: 32,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             max_frame_bytes: 8 << 20,
+            trace_workers: 2,
             harness: HarnessConfig::from_env(),
             runner: None,
+            cluster: None,
             quiet: false,
         }
     }
@@ -110,9 +145,9 @@ impl ServerConfig {
         }
     }
 
-    /// Sets the connection-handler thread count.
-    pub fn with_conn_workers(mut self, n: usize) -> ServerConfig {
-        self.conn_workers = n.max(1);
+    /// Sets the open-connection bound.
+    pub fn with_max_conns(mut self, n: usize) -> ServerConfig {
+        self.max_conns = n.max(1);
         self
     }
 
@@ -133,13 +168,32 @@ impl ServerConfig {
         self.runner = Some(runner);
         self
     }
+
+    /// Runs as a coordinator over a worker cluster.
+    pub fn with_cluster(mut self, cluster: ClusterConfig) -> ServerConfig {
+        self.cluster = Some(cluster);
+        self
+    }
 }
 
+/// Per-job result lines as they become available: `None` until the job
+/// completes (or forever, if it fails permanently). Indexed by the
+/// job's position in the submitted sweep; the stored line carries the
+/// *original* index when the submit frame supplied one.
+type PartialLines = Arc<Mutex<Vec<Option<String>>>>;
+
 enum EntryState {
-    Queued(SweepSpec),
-    Running,
+    Queued {
+        sweep: SweepSpec,
+        /// Original-sweep index per job (`None` = identity), from the
+        /// submit frame's `indices` extension.
+        orig: Option<Vec<u64>>,
+    },
+    Running {
+        partial: PartialLines,
+    },
     Done {
-        lines: Arc<Vec<String>>,
+        lines: Arc<Vec<Option<String>>>,
         executed: u64,
         cached: u64,
         failures: u64,
@@ -204,12 +258,11 @@ struct Shared {
     metrics: Arc<Metrics>,
     table: Mutex<JobTable>,
     queue_cv: Condvar,
-    conns: Mutex<VecDeque<TcpStream>>,
-    conns_cv: Condvar,
     shutdown: AtomicBool,
+    executor_done: AtomicBool,
     checkpoints: Mutex<CheckpointStore>,
     queue_capacity: usize,
-    pending_conns: usize,
+    max_conns: usize,
     read_timeout: Duration,
     write_timeout: Duration,
     max_frame_bytes: usize,
@@ -217,6 +270,26 @@ struct Shared {
 }
 
 impl Shared {
+    fn from_config(cfg: &ServerConfig) -> Arc<Shared> {
+        Arc::new(Shared {
+            metrics: Arc::new(match &cfg.cluster {
+                Some(cluster) => Metrics::with_workers(cluster.workers),
+                None => Metrics::new(),
+            }),
+            table: Mutex::new(JobTable::default()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            executor_done: AtomicBool::new(false),
+            checkpoints: Mutex::new(CheckpointStore::default()),
+            queue_capacity: cfg.queue_capacity,
+            max_conns: cfg.max_conns,
+            read_timeout: cfg.read_timeout,
+            write_timeout: cfg.write_timeout,
+            max_frame_bytes: cfg.max_frame_bytes,
+            quiet: cfg.quiet,
+        })
+    }
+
     fn log(&self, msg: std::fmt::Arguments<'_>) {
         if !self.quiet {
             eprintln!("senss-serve: {msg}");
@@ -224,12 +297,21 @@ impl Shared {
     }
 }
 
-/// Locks a mutex, recovering from poisoning. A handler thread that
-/// panicked mid-update can at worst leave one sweep entry stale; every
-/// other connection must keep being served, so poisoning is never
-/// allowed to cascade into a process-wide denial of service.
+/// Locks a mutex, recovering from poisoning. A thread that panicked
+/// mid-update can at worst leave one sweep entry stale; every other
+/// connection must keep being served, so poisoning is never allowed to
+/// cascade into a process-wide denial of service.
 fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Wake the executor so an empty queue drains immediately; the event
+    // loop notices the flag on its next tick.
+    shared.queue_cv.notify_all();
 }
 
 /// A running server: its bound address, live metrics, and join/shutdown
@@ -239,6 +321,7 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    coordinator: Option<Arc<Coordinator>>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -247,6 +330,7 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("addr", &self.addr)
             .field("threads", &self.threads.len())
+            .field("cluster", &self.coordinator.is_some())
             .finish()
     }
 }
@@ -256,47 +340,55 @@ impl std::fmt::Debug for Server {
 pub type ServerHandle = Server;
 
 impl Server {
-    /// Binds `cfg.addr` and spawns the accept, connection and executor
-    /// threads. Returns as soon as the socket is listening.
+    /// Binds `cfg.addr` and spawns the event-loop, executor and trace
+    /// threads (plus worker processes in cluster mode). Returns as soon
+    /// as the socket is listening.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            metrics: Arc::new(Metrics::new()),
-            table: Mutex::new(JobTable::default()),
-            queue_cv: Condvar::new(),
-            conns: Mutex::new(VecDeque::new()),
-            conns_cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            checkpoints: Mutex::new(CheckpointStore::default()),
-            queue_capacity: cfg.queue_capacity,
-            pending_conns: cfg.pending_conns,
-            read_timeout: cfg.read_timeout,
-            write_timeout: cfg.write_timeout,
-            max_frame_bytes: cfg.max_frame_bytes,
-            quiet: cfg.quiet,
-        });
+        let shared = Shared::from_config(&cfg);
+        let coordinator = match &cfg.cluster {
+            Some(cluster) => Some(Arc::new(Coordinator::start(
+                cluster.clone(),
+                Arc::clone(&shared.metrics),
+                cfg.quiet,
+            )?)),
+            None => None,
+        };
+
+        let (trace_tx, trace_rx) = std::sync::mpsc::channel::<TraceTask>();
+        let trace_rx = Arc::new(Mutex::new(trace_rx));
+        let trace_done: Arc<Mutex<Vec<TraceOutcome>>> = Arc::new(Mutex::new(Vec::new()));
 
         let mut threads = Vec::new();
         {
             let shared = Arc::clone(&shared);
-            threads.push(std::thread::spawn(move || accept_loop(listener, &shared)));
+            let trace_done = Arc::clone(&trace_done);
+            threads.push(std::thread::spawn(move || {
+                event_loop(listener, &shared, &trace_tx, &trace_done)
+            }));
         }
-        for _ in 0..cfg.conn_workers.max(1) {
+        for _ in 0..cfg.trace_workers.max(1) {
             let shared = Arc::clone(&shared);
-            threads.push(std::thread::spawn(move || conn_worker(&shared)));
+            let trace_rx = Arc::clone(&trace_rx);
+            let trace_done = Arc::clone(&trace_done);
+            threads.push(std::thread::spawn(move || {
+                trace_worker(&shared, &trace_rx, &trace_done)
+            }));
         }
         {
             let shared = Arc::clone(&shared);
             let harness = Harness::new(cfg.harness.clone());
             let runner = cfg.runner.clone();
+            let coordinator = coordinator.clone();
             threads.push(std::thread::spawn(move || {
-                executor_loop(&shared, &harness, runner.as_ref())
+                executor_loop(&shared, &harness, runner.as_ref(), coordinator.as_deref())
             }));
         }
         Ok(Server {
             addr,
             shared,
+            coordinator,
             threads,
         })
     }
@@ -318,6 +410,12 @@ impl Server {
         Arc::clone(&self.shared.metrics)
     }
 
+    /// The cluster coordinator, when running in cluster mode. Exposed
+    /// so fault-injection tests can kill workers mid-sweep.
+    pub fn coordinator(&self) -> Option<&Coordinator> {
+        self.coordinator.as_deref()
+    }
+
     /// Whether shutdown has been triggered (by a client frame or
     /// locally).
     pub fn is_shutting_down(&self) -> bool {
@@ -326,7 +424,7 @@ impl Server {
 
     /// Triggers drain-then-exit shutdown and joins every thread.
     pub fn shutdown(self) {
-        trigger_shutdown(&self.shared, self.addr);
+        trigger_shutdown(&self.shared);
         self.join();
     }
 
@@ -340,159 +438,445 @@ impl Server {
     }
 }
 
-fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
-    if shared.shutdown.swap(true, Ordering::SeqCst) {
-        return;
-    }
-    shared.queue_cv.notify_all();
-    shared.conns_cv.notify_all();
-    // Unblock the accept loop: it re-checks the flag after every accept.
-    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+// ---------------------------------------------------------------------------
+// Frame extraction
+// ---------------------------------------------------------------------------
+
+/// Outcome of scanning the read buffer for one frame.
+#[derive(Debug, PartialEq, Eq)]
+enum Extracted {
+    /// No complete frame yet; read more.
+    Incomplete,
+    /// The next frame's content exceeds the size cap. The stream is no
+    /// longer in sync, so the connection must close after replying.
+    TooLong,
+    /// One frame, newline stripped.
+    Frame(Vec<u8>),
 }
 
-fn accept_loop(listener: TcpListener, shared: &Shared) {
-    for conn in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
+/// Extracts the next newline-terminated frame from `rbuf`.
+///
+/// The cap applies to frame **content** (the newline is free): exactly
+/// `max` content bytes are accepted, `max + 1` are rejected — even if
+/// a newline arrives later, because an oversized frame already
+/// desynchronized the stream.
+fn extract_frame(rbuf: &mut Vec<u8>, max: usize) -> Extracted {
+    match rbuf.iter().position(|&b| b == b'\n') {
+        Some(pos) if pos > max => Extracted::TooLong,
+        Some(pos) => {
+            let mut frame: Vec<u8> = rbuf.drain(..=pos).collect();
+            frame.pop();
+            Extracted::Frame(frame)
         }
-        let stream = match conn {
-            Ok(s) => s,
-            Err(e) => {
-                shared.log(format_args!("accept failed: {e}"));
+        None if rbuf.len() > max => Extracted::TooLong,
+        None => Extracted::Incomplete,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connections
+// ---------------------------------------------------------------------------
+
+/// Cursor of an in-progress `results`/`stream` reply: record lines are
+/// pumped into the write buffer in index order as they become
+/// available, then the `end` trailer.
+struct ResultStream {
+    id: u64,
+    /// Next job slot (position in the submitted sweep) to inspect.
+    next: usize,
+    /// Record lines shipped so far.
+    sent: u64,
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written to the socket.
+    wpos: usize,
+    stream_state: Option<ResultStream>,
+    /// A `trace` is in flight on the trace pool; further frames wait in
+    /// `rbuf` so replies keep their order.
+    trace_pending: bool,
+    eof: bool,
+    close_after_flush: bool,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        Ok(Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            stream_state: None,
+            trace_pending: false,
+            eof: false,
+            close_after_flush: false,
+            last_activity: Instant::now(),
+        })
+    }
+
+    fn pending_out(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    fn push_frame(&mut self, frame: &str) {
+        self.wbuf.extend_from_slice(frame.as_bytes());
+        self.wbuf.push(b'\n');
+    }
+
+    fn push_response(&mut self, shared: &Shared, response: &Response) {
+        if let Response::Error { class, .. } = response {
+            shared.metrics.record_error(*class);
+        }
+        self.push_frame(&response.encode());
+    }
+
+    /// Non-blocking read into `rbuf`. Returns false on a fatal error.
+    fn try_read(&mut self, max_frame: usize) -> bool {
+        let mut tmp = [0u8; 16 * 1024];
+        loop {
+            // One frame past the cap is enough to detect TooLong; stop
+            // there so a spamming client cannot balloon the buffer.
+            if self.rbuf.len() > max_frame {
+                return true;
+            }
+            match self.stream.read(&mut tmp) {
+                Ok(0) => {
+                    self.eof = true;
+                    return true;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&tmp[..n]);
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::BrokenPipe
+                    ) =>
+                {
+                    self.eof = true;
+                    return true;
+                }
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Non-blocking write of pending output. Returns false on a fatal
+    /// error.
+    fn try_write(&mut self) -> bool {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.wpos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > 64 * 1024 {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        true
+    }
+}
+
+struct TraceTask {
+    token: u64,
+    id: u64,
+    index: u64,
+    started: Instant,
+}
+
+struct TraceOutcome {
+    token: u64,
+    response: Response,
+    started: Instant,
+}
+
+// ---------------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------------
+
+fn event_loop(
+    listener: TcpListener,
+    shared: &Shared,
+    trace_tx: &Sender<TraceTask>,
+    trace_done: &Mutex<Vec<TraceOutcome>>,
+) {
+    if let Err(e) = listener.set_nonblocking(true) {
+        shared.log(format_args!("cannot make listener non-blocking: {e}"));
+        return;
+    }
+    let mut listener = Some(listener);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 1;
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut tokens: Vec<u64> = Vec::new();
+    // Set once the executor has drained during shutdown; pushed forward
+    // while any connection still makes write progress, so large final
+    // streams flush but a wedged client cannot hold the process open.
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let shutting = shared.shutdown.load(Ordering::SeqCst);
+        if shutting && listener.is_some() {
+            listener = None;
+            shared.log(format_args!("shutdown requested; draining queue"));
+        }
+
+        fds.clear();
+        tokens.clear();
+        if let Some(l) = &listener {
+            fds.push(PollFd::new(l.as_raw_fd(), sys::POLLIN));
+            tokens.push(0);
+        }
+        for (&token, conn) in &conns {
+            let mut events = 0i16;
+            let room = !conn.eof
+                && conn.rbuf.len() <= shared.max_frame_bytes
+                && conn.pending_out() < WRITE_HIGH_WATER
+                && !conn.close_after_flush;
+            if room {
+                events |= sys::POLLIN;
+            }
+            if conn.pending_out() > 0 {
+                events |= sys::POLLOUT;
+            }
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+            tokens.push(token);
+        }
+
+        if fds.is_empty() {
+            if shutting && shared.executor_done.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(POLL_TICK);
+        } else if let Err(e) = sys::poll_fds(&mut fds, POLL_TICK.as_millis() as i32) {
+            shared.log(format_args!("poll failed: {e}"));
+            std::thread::sleep(POLL_TICK);
+        }
+
+        let mut dead: Vec<u64> = Vec::new();
+        for (fd, &token) in fds.iter().zip(&tokens) {
+            if token == 0 {
+                if fd.ready(sys::POLLIN) {
+                    accept_ready(listener.as_ref(), &mut conns, &mut next_token, shared);
+                }
                 continue;
             }
-        };
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            if (fd.ready(sys::POLLIN) || fd.failed())
+                && !conn.try_read(shared.max_frame_bytes)
+            {
+                dead.push(token);
+                continue;
+            }
+            if fd.ready(sys::POLLOUT) && !conn.try_write() {
+                dead.push(token);
+            }
+        }
+        for token in dead.drain(..) {
+            conns.remove(&token);
+        }
+
+        // Trace results finished since the last tick.
+        for outcome in std::mem::take(&mut *lock_recover(trace_done)) {
+            if let Some(conn) = conns.get_mut(&outcome.token) {
+                conn.push_response(shared, &outcome.response);
+                shared.metrics.latency.observe(outcome.started.elapsed());
+                conn.trace_pending = false;
+            }
+        }
+
+        // Parse + serve, pump streams, flush, and decide each
+        // connection's fate.
+        let now = Instant::now();
+        let drained = shutting && shared.executor_done.load(Ordering::SeqCst);
+        let mut progress = false;
+        conns.retain(|&token, conn| {
+            if !drained {
+                process_frames(conn, token, shared, trace_tx);
+            }
+            pump_stream(conn, shared);
+            let before = conn.pending_out();
+            if !conn.try_write() {
+                return false;
+            }
+            progress |= conn.pending_out() < before;
+            if conn.close_after_flush && conn.pending_out() == 0 {
+                return false;
+            }
+            let settled = conn.pending_out() == 0
+                && conn.stream_state.is_none()
+                && !conn.trace_pending;
+            if conn.eof && conn.rbuf.is_empty() && settled {
+                return false;
+            }
+            if drained && settled {
+                return false;
+            }
+            if settled && now.duration_since(conn.last_activity) > shared.read_timeout {
+                // Idle reclaim.
+                return false;
+            }
+            if conn.pending_out() > 0
+                && now.duration_since(conn.last_activity) > shared.write_timeout
+            {
+                // Stalled writer.
+                return false;
+            }
+            true
+        });
         shared
             .metrics
-            .connections_total
-            .fetch_add(1, Ordering::Relaxed);
-        let mut conns = lock_recover(&shared.conns);
-        if conns.len() >= shared.pending_conns {
-            drop(conns);
-            shared
-                .metrics
-                .connections_rejected
-                .fetch_add(1, Ordering::Relaxed);
-            shared.metrics.record_error(ErrorClass::Overloaded);
-            reject_connection(stream, shared);
-            continue;
+            .connections_open
+            .store(conns.len() as u64, Ordering::Relaxed);
+
+        if drained {
+            if conns.is_empty() {
+                break;
+            }
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| now + shared.write_timeout);
+            if progress {
+                drain_deadline = Some(now + shared.write_timeout);
+            } else if now >= deadline {
+                shared.log(format_args!(
+                    "drain grace expired with {} connection(s) unflushed",
+                    conns.len()
+                ));
+                break;
+            }
         }
-        conns.push_back(stream);
-        drop(conns);
-        shared.conns_cv.notify_one();
+    }
+    // Dropping `trace_tx`'s last clone (held by our caller's channel)
+    // happens when this function returns; trace workers exit on the
+    // closed channel.
+}
+
+fn accept_ready(
+    listener: Option<&TcpListener>,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    shared: &Shared,
+) {
+    let Some(listener) = listener else { return };
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared
+                    .metrics
+                    .connections_total
+                    .fetch_add(1, Ordering::Relaxed);
+                if conns.len() >= shared.max_conns {
+                    shared
+                        .metrics
+                        .connections_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.record_error(ErrorClass::Overloaded);
+                    reject_connection(stream, shared);
+                    continue;
+                }
+                match Conn::new(stream) {
+                    Ok(conn) => {
+                        let token = *next_token;
+                        *next_token += 1;
+                        conns.insert(token, conn);
+                    }
+                    Err(e) => shared.log(format_args!("accepted socket unusable: {e}")),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                shared.log(format_args!("accept failed: {e}"));
+                return;
+            }
+        }
     }
 }
 
 /// Sheds an over-capacity connection with a structured error so the
-/// client knows to back off rather than seeing a bare RST.
+/// client knows to back off rather than seeing a bare RST. Best-effort
+/// and non-blocking: the peer is being shed, not served.
 fn reject_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_write_timeout(Some(shared.write_timeout));
-    let mut w = BufWriter::new(stream);
+    let _ = stream.set_nonblocking(true);
     let frame = Response::error(
         ErrorClass::Overloaded,
         format!(
-            "connection queue full ({} pending); retry with backoff",
-            shared.pending_conns
+            "connection limit reached ({} open); retry with backoff",
+            shared.max_conns
         ),
     )
     .encode();
-    let _ = writeln!(w, "{frame}");
-    let _ = w.flush();
+    let _ = (&stream).write_all(frame.as_bytes());
+    let _ = (&stream).write_all(b"\n");
 }
 
-fn conn_worker(shared: &Shared) {
+/// Parses and serves every complete frame in the connection's read
+/// buffer, stopping at backpressure boundaries: a pending trace, an
+/// active result stream, or a write buffer over the high-water mark.
+fn process_frames(conn: &mut Conn, token: u64, shared: &Shared, trace_tx: &Sender<TraceTask>) {
     loop {
-        let stream = {
-            let mut conns = lock_recover(&shared.conns);
-            loop {
-                if let Some(s) = conns.pop_front() {
-                    break s;
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
+        if conn.trace_pending
+            || conn.stream_state.is_some()
+            || conn.close_after_flush
+            || conn.pending_out() >= WRITE_HIGH_WATER
+        {
+            return;
+        }
+        let frame = match extract_frame(&mut conn.rbuf, shared.max_frame_bytes) {
+            Extracted::Incomplete => {
+                if conn.eof && !conn.rbuf.is_empty() {
+                    // A final unterminated frame is still served, like
+                    // any text tool tolerating a missing last newline.
+                    std::mem::take(&mut conn.rbuf)
+                } else {
                     return;
                 }
-                conns = shared.conns_cv.wait(conns).unwrap_or_else(PoisonError::into_inner);
             }
-        };
-        if let Err(e) = handle_connection(stream, shared) {
-            shared.log(format_args!("connection error: {e}"));
-        }
-    }
-}
-
-enum Frame {
-    Eof,
-    TooLong,
-    BadUtf8,
-    Line(String),
-}
-
-fn read_frame(reader: &mut BufReader<TcpStream>, max: usize) -> std::io::Result<Frame> {
-    let mut buf = Vec::new();
-    let n = reader
-        .by_ref()
-        .take(max as u64 + 1)
-        .read_until(b'\n', &mut buf)?;
-    if n == 0 {
-        return Ok(Frame::Eof);
-    }
-    if buf.last() != Some(&b'\n') && buf.len() > max {
-        return Ok(Frame::TooLong);
-    }
-    match String::from_utf8(buf) {
-        Ok(s) => Ok(Frame::Line(s)),
-        Err(_) => Ok(Frame::BadUtf8),
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(shared.read_timeout))?;
-    stream.set_write_timeout(Some(shared.write_timeout))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // Finish serving after a drain begins; new frames on old
-            // connections would race the exiting executor anyway.
-            return Ok(());
-        }
-        let line = match read_frame(&mut reader, shared.max_frame_bytes) {
-            Ok(Frame::Eof) => return Ok(()),
-            Ok(Frame::TooLong) => {
+            Extracted::TooLong => {
                 // The rest of the oversized frame is unread, so the
                 // stream is no longer in sync: reply, then close.
-                reply_error(
-                    &mut writer,
+                conn.push_response(
                     shared,
-                    ErrorClass::Malformed,
-                    format!("frame exceeds {} bytes", shared.max_frame_bytes),
-                )?;
-                return Ok(());
+                    &Response::error(
+                        ErrorClass::Malformed,
+                        format!("frame exceeds {} bytes", shared.max_frame_bytes),
+                    ),
+                );
+                conn.close_after_flush = true;
+                return;
             }
-            Ok(Frame::BadUtf8) => {
-                reply_error(
-                    &mut writer,
+            Extracted::Frame(f) => f,
+        };
+        let line = match String::from_utf8(frame) {
+            Ok(s) => s,
+            Err(_) => {
+                conn.push_response(
                     shared,
-                    ErrorClass::Malformed,
-                    "frame is not valid UTF-8",
-                )?;
+                    &Response::error(ErrorClass::Malformed, "frame is not valid UTF-8"),
+                );
                 continue;
             }
-            Ok(Frame::Line(l)) => l,
-            // Read timeout (idle connection) or peer reset: close
-            // quietly, the process keeps serving everyone else.
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::ConnectionReset
-                ) =>
-            {
-                return Ok(());
-            }
-            Err(e) => return Err(e),
         };
         let line = line.trim();
         if line.is_empty() {
@@ -502,79 +886,170 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
         let request = match Request::decode(line) {
             Ok(r) => r,
             Err((class, message)) => {
-                reply_error(&mut writer, shared, class, message)?;
+                conn.push_response(shared, &Response::error(class, message));
                 continue;
             }
         };
         shared.metrics.record_request(request.kind());
-        let is_shutdown = matches!(request, Request::Shutdown);
-        dispatch(request, shared, &mut writer)?;
-        writer.flush()?;
+        match request {
+            Request::Submit { sweep, indices } => {
+                let response = submit(sweep, indices, shared);
+                conn.push_response(shared, &response);
+            }
+            Request::Status { id } => {
+                let response = status(id, shared);
+                conn.push_response(shared, &response);
+            }
+            Request::Results { id } => {
+                match results_header(id, shared) {
+                    Ok(header) => {
+                        conn.push_frame(&header.encode());
+                        conn.stream_state = Some(ResultStream { id, next: 0, sent: 0 });
+                    }
+                    Err(response) => conn.push_response(shared, &response),
+                }
+            }
+            Request::Stream { id } => {
+                match stream_header(id, shared) {
+                    Ok(header) => {
+                        conn.push_frame(&header.encode());
+                        conn.stream_state = Some(ResultStream { id, next: 0, sent: 0 });
+                    }
+                    Err(response) => conn.push_response(shared, &response),
+                }
+            }
+            Request::Trace { id, index } => {
+                conn.trace_pending = true;
+                if trace_tx
+                    .send(TraceTask {
+                        token,
+                        id,
+                        index,
+                        started,
+                    })
+                    .is_err()
+                {
+                    conn.push_response(
+                        shared,
+                        &Response::error(ErrorClass::ShuttingDown, "trace pool is gone"),
+                    );
+                    conn.trace_pending = false;
+                }
+                // Latency is observed when the trace completes.
+                continue;
+            }
+            Request::Metrics => {
+                let snapshot = shared.metrics.snapshot();
+                conn.push_frame(&Response::Metrics(snapshot).encode());
+            }
+            Request::Ping => conn.push_frame(&Response::Pong.encode()),
+            Request::Shutdown => {
+                conn.push_frame(&Response::ShuttingDown.encode());
+                conn.close_after_flush = true;
+                trigger_shutdown(shared);
+            }
+        }
         shared.metrics.latency.observe(started.elapsed());
-        if is_shutdown {
-            return Ok(());
-        }
     }
 }
 
-fn reply_error(
-    writer: &mut BufWriter<TcpStream>,
-    shared: &Shared,
-    class: ErrorClass,
-    message: impl Into<String>,
-) -> std::io::Result<()> {
-    shared.metrics.record_error(class);
-    writeln!(writer, "{}", Response::error(class, message).encode())?;
-    writer.flush()
-}
-
-fn dispatch(
-    request: Request,
-    shared: &Shared,
-    writer: &mut BufWriter<TcpStream>,
-) -> std::io::Result<()> {
-    match request {
-        Request::Submit(sweep) => {
-            let response = submit(sweep, shared);
-            if let Response::Error { class, .. } = &response {
-                shared.metrics.record_error(*class);
+/// Moves available record lines (in index order) from the sweep entry
+/// into the connection's write buffer, up to the high-water mark;
+/// finishes with the `end` trailer once every slot has been inspected
+/// on a completed sweep.
+fn pump_stream(conn: &mut Conn, shared: &Shared) {
+    let Some(mut st) = conn.stream_state.take() else {
+        return;
+    };
+    let mut finished = false;
+    loop {
+        if conn.wbuf.len() - conn.wpos >= WRITE_HIGH_WATER {
+            break;
+        }
+        // Pull the next batch of available lines under the table lock,
+        // then release it before encoding into the write buffer.
+        enum Step {
+            Lines(Vec<Option<String>>),
+            End(u64),
+            Abort(Response),
+            Wait,
+        }
+        let step = {
+            let table = lock_recover(&shared.table);
+            match table.entries.get(&st.id) {
+                None => Step::Abort(Response::error(
+                    ErrorClass::NotFound,
+                    format!("sweep {} vanished mid-stream", st.id),
+                )),
+                Some(entry) => match &entry.state {
+                    EntryState::Queued { .. } => Step::Wait,
+                    EntryState::Running { partial } => {
+                        let p = lock_recover(partial);
+                        let batch: Vec<Option<String>> = p[st.next.min(p.len())..]
+                            .iter()
+                            .take_while(|l| l.is_some())
+                            .take(64)
+                            .cloned()
+                            .collect();
+                        if batch.is_empty() {
+                            Step::Wait
+                        } else {
+                            Step::Lines(batch)
+                        }
+                    }
+                    EntryState::Done { lines, .. } => {
+                        if st.next >= lines.len() {
+                            Step::End(st.sent)
+                        } else {
+                            let batch: Vec<Option<String>> =
+                                lines[st.next..].iter().take(64).cloned().collect();
+                            Step::Lines(batch)
+                        }
+                    }
+                    EntryState::Failed { message } => Step::Abort(Response::error(
+                        ErrorClass::Internal,
+                        format!("sweep {} failed mid-stream: {message}", st.id),
+                    )),
+                },
             }
-            writeln!(writer, "{}", response.encode())
-        }
-        Request::Status { id } => {
-            let response = status(id, shared);
-            if let Response::Error { class, .. } = &response {
-                shared.metrics.record_error(*class);
+        };
+        match step {
+            Step::Wait => break,
+            Step::Lines(batch) => {
+                for line in batch {
+                    st.next += 1;
+                    if let Some(line) = line {
+                        st.sent += 1;
+                        conn.wbuf.extend_from_slice(line.as_bytes());
+                        conn.wbuf.push(b'\n');
+                    }
+                }
             }
-            writeln!(writer, "{}", response.encode())
-        }
-        Request::Results { id } => results(id, shared, writer),
-        Request::Trace { id, index } => {
-            let response = trace(id, index, shared);
-            if let Response::Error { class, .. } = &response {
-                shared.metrics.record_error(*class);
+            Step::End(count) => {
+                conn.push_frame(&Response::End { id: st.id, count }.encode());
+                finished = true;
+                break;
             }
-            writeln!(writer, "{}", response.encode())
+            Step::Abort(response) => {
+                conn.push_response(shared, &response);
+                // The stream contract is broken; resynchronize by
+                // closing once the error flushes.
+                conn.close_after_flush = true;
+                finished = true;
+                break;
+            }
         }
-        Request::Metrics => {
-            let snapshot = shared.metrics.snapshot();
-            writeln!(writer, "{}", Response::Metrics(snapshot).encode())
-        }
-        Request::Ping => writeln!(writer, "{}", Response::Pong.encode()),
-        Request::Shutdown => {
-            writeln!(writer, "{}", Response::ShuttingDown.encode())?;
-            writer.flush()?;
-            shared.log(format_args!("shutdown requested; draining queue"));
-            // The address is only needed to wake accept; connect via the
-            // stream's own local view of the server.
-            let addr = writer.get_ref().local_addr()?;
-            trigger_shutdown(shared, addr);
-            Ok(())
-        }
+    }
+    if !finished {
+        conn.stream_state = Some(st);
     }
 }
 
-fn submit(sweep: SweepSpec, shared: &Shared) -> Response {
+// ---------------------------------------------------------------------------
+// Request handlers
+// ---------------------------------------------------------------------------
+
+fn submit(sweep: SweepSpec, orig: Option<Vec<u64>>, shared: &Shared) -> Response {
     if shared.shutdown.load(Ordering::SeqCst) {
         return Response::error(ErrorClass::ShuttingDown, "server is draining");
     }
@@ -596,7 +1071,7 @@ fn submit(sweep: SweepSpec, shared: &Shared) -> Response {
         id,
         Entry {
             jobs,
-            state: EntryState::Queued(sweep),
+            state: EntryState::Queued { sweep, orig },
         },
     );
     table.queue.push_back(id);
@@ -625,8 +1100,8 @@ fn status(id: u64, shared: &Shared) -> Response {
         message: String::new(),
     };
     match &entry.state {
-        EntryState::Queued(_) => {}
-        EntryState::Running => info.state = SweepState::Running,
+        EntryState::Queued { .. } => {}
+        EntryState::Running { .. } => info.state = SweepState::Running,
         EntryState::Done {
             executed,
             cached,
@@ -646,46 +1121,79 @@ fn status(id: u64, shared: &Shared) -> Response {
     Response::Status(info)
 }
 
-fn results(id: u64, shared: &Shared, writer: &mut BufWriter<TcpStream>) -> std::io::Result<()> {
-    let outcome = {
-        let table = lock_recover(&shared.table);
-        match table.entries.get(&id) {
-            None => Err(Response::error(
-                ErrorClass::NotFound,
-                format!("no sweep with id {id}"),
+/// Validates a `results` request; the reply header on success. Results
+/// require a finished sweep, matching the one-shot semantics clients
+/// rely on (`stream` is the progressive alternative).
+fn results_header(id: u64, shared: &Shared) -> Result<Response, Response> {
+    let table = lock_recover(&shared.table);
+    match table.entries.get(&id) {
+        None => Err(Response::error(
+            ErrorClass::NotFound,
+            format!("no sweep with id {id}"),
+        )),
+        Some(entry) => match &entry.state {
+            EntryState::Queued { .. } | EntryState::Running { .. } => Err(Response::error(
+                ErrorClass::NotReady,
+                format!("sweep {id} has not finished; poll status"),
             )),
-            Some(entry) => match &entry.state {
-                EntryState::Queued(_) | EntryState::Running => Err(Response::error(
-                    ErrorClass::NotReady,
-                    format!("sweep {id} has not finished; poll status"),
-                )),
-                EntryState::Failed { message } => Err(Response::error(
-                    ErrorClass::Internal,
-                    format!("sweep {id} failed: {message}"),
-                )),
-                EntryState::Done { lines, .. } => Ok(Arc::clone(lines)),
-            },
-        }
-    };
-    match outcome {
-        Err(response) => {
-            if let Response::Error { class, .. } = &response {
-                shared.metrics.record_error(*class);
+            EntryState::Failed { message } => Err(Response::error(
+                ErrorClass::Internal,
+                format!("sweep {id} failed: {message}"),
+            )),
+            EntryState::Done { lines, .. } => {
+                let count = lines.iter().flatten().count() as u64;
+                Ok(Response::ResultsHeader { id, count })
             }
-            writeln!(writer, "{}", response.encode())
-        }
-        Ok(lines) => {
-            let count = lines.len() as u64;
-            writeln!(
-                writer,
-                "{}",
-                Response::ResultsHeader { id, count }.encode()
-            )?;
-            for line in lines.iter() {
-                writeln!(writer, "{line}")?;
+        },
+    }
+}
+
+/// Validates a `stream` request; the reply header on success. Streams
+/// attach to a sweep in any live state and deliver lines as jobs
+/// complete.
+fn stream_header(id: u64, shared: &Shared) -> Result<Response, Response> {
+    let table = lock_recover(&shared.table);
+    match table.entries.get(&id) {
+        None => Err(Response::error(
+            ErrorClass::NotFound,
+            format!("no sweep with id {id}"),
+        )),
+        Some(entry) => match &entry.state {
+            EntryState::Failed { message } => Err(Response::error(
+                ErrorClass::Internal,
+                format!("sweep {id} failed: {message}"),
+            )),
+            _ => Ok(Response::StreamHeader {
+                id,
+                jobs: entry.jobs,
+            }),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace pool
+// ---------------------------------------------------------------------------
+
+fn trace_worker(
+    shared: &Shared,
+    rx: &Mutex<Receiver<TraceTask>>,
+    done: &Mutex<Vec<TraceOutcome>>,
+) {
+    loop {
+        let task = {
+            let rx = lock_recover(rx);
+            match rx.recv() {
+                Ok(t) => t,
+                Err(_) => return,
             }
-            writeln!(writer, "{}", Response::End { id, count }.encode())
-        }
+        };
+        let response = trace(task.id, task.index, shared);
+        lock_recover(done).push(TraceOutcome {
+            token: task.token,
+            response,
+            started: task.started,
+        });
     }
 }
 
@@ -705,8 +1213,8 @@ const TRACE_BUCKET_CYCLES: u64 = 1 << 14;
 /// checkpoint and replay only the second half. Determinism makes the
 /// two paths indistinguishable on the wire — prefix events chained with
 /// the restored run's tail fold to byte-identical derived metrics. The
-/// re-run happens on the connection-handler thread (not the executor),
-/// under the same panic isolation the harness gives its workers.
+/// re-run happens on a trace-pool thread (never the event loop), under
+/// the same panic isolation the harness gives its workers.
 fn trace(id: u64, index: u64, shared: &Shared) -> Response {
     let line = {
         let table = lock_recover(&shared.table);
@@ -715,7 +1223,7 @@ fn trace(id: u64, index: u64, shared: &Shared) -> Response {
                 return Response::error(ErrorClass::NotFound, format!("no sweep with id {id}"))
             }
             Some(entry) => match &entry.state {
-                EntryState::Queued(_) | EntryState::Running => {
+                EntryState::Queued { .. } | EntryState::Running { .. } => {
                     return Response::error(
                         ErrorClass::NotReady,
                         format!("sweep {id} has not finished; poll status"),
@@ -734,7 +1242,13 @@ fn trace(id: u64, index: u64, shared: &Shared) -> Response {
                             format!("sweep {id} has {} job(s); no index {index}", lines.len()),
                         )
                     }
-                    Some(line) => line.clone(),
+                    Some(None) => {
+                        return Response::error(
+                            ErrorClass::NotFound,
+                            format!("job {index} of sweep {id} failed; nothing to trace"),
+                        )
+                    }
+                    Some(Some(line)) => line.clone(),
                 },
             },
         }
@@ -823,9 +1337,18 @@ fn trace(id: u64, index: u64, shared: &Shared) -> Response {
     }
 }
 
-fn executor_loop(shared: &Shared, harness: &Harness, runner: Option<&JobRunner>) {
+// ---------------------------------------------------------------------------
+// The executor
+// ---------------------------------------------------------------------------
+
+fn executor_loop(
+    shared: &Shared,
+    harness: &Harness,
+    runner: Option<&JobRunner>,
+    coordinator: Option<&Coordinator>,
+) {
     loop {
-        let (id, sweep) = {
+        let (id, sweep, orig, partial) = {
             let mut table = lock_recover(&shared.table);
             loop {
                 if let Some(id) = table.queue.pop_front() {
@@ -833,17 +1356,27 @@ fn executor_loop(shared: &Shared, harness: &Harness, runner: Option<&JobRunner>)
                     // queue id whose entry was lost or left in an odd
                     // state mid-update; skip it instead of killing the
                     // executor (clients see `not_found` / stale status).
+                    // The state is only replaced once it is known to be
+                    // Queued — replacing first would wipe a finished
+                    // entry's results and strand it in Running.
                     match table.entries.get_mut(&id) {
-                        Some(entry) => {
-                            let state =
-                                std::mem::replace(&mut entry.state, EntryState::Running);
-                            if let EntryState::Queued(sweep) = state {
-                                break (id, sweep);
-                            }
-                            shared.log(format_args!(
-                                "sweep {id} was queued but not in Queued state; skipping"
-                            ));
+                        Some(entry) if matches!(entry.state, EntryState::Queued { .. }) => {
+                            let partial: PartialLines =
+                                Arc::new(Mutex::new(vec![None; entry.jobs as usize]));
+                            let state = std::mem::replace(
+                                &mut entry.state,
+                                EntryState::Running {
+                                    partial: Arc::clone(&partial),
+                                },
+                            );
+                            let EntryState::Queued { sweep, orig } = state else {
+                                unreachable!("state was just matched as Queued");
+                            };
+                            break (id, sweep, orig, partial);
                         }
+                        Some(_) => shared.log(format_args!(
+                            "sweep {id} was queued but not in Queued state; skipping"
+                        )),
                         None => shared.log(format_args!(
                             "queued sweep {id} has no table entry; skipping"
                         )),
@@ -852,16 +1385,20 @@ fn executor_loop(shared: &Shared, harness: &Harness, runner: Option<&JobRunner>)
                 }
                 // Drain-then-exit: leave only once the queue is empty.
                 if shared.shutdown.load(Ordering::SeqCst) {
+                    shared.executor_done.store(true, Ordering::SeqCst);
                     return;
                 }
-                table = shared.queue_cv.wait(table).unwrap_or_else(PoisonError::into_inner);
+                table = shared
+                    .queue_cv
+                    .wait(table)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         shared.metrics.queue_popped();
-        let outcome = match runner {
-            Some(r) => harness.run_with(&sweep, |j| r(j)),
-            None => harness.run(&sweep),
-        };
+        // Original-sweep index of each job: identity unless the submit
+        // carried the sharding extension.
+        let orig_index = move |i: usize| -> u64 { orig.as_ref().map_or(i as u64, |v| v[i]) };
+        let outcome = run_sweep(harness, runner, coordinator, &sweep, &orig_index, &partial);
         let mut table = lock_recover(&shared.table);
         let Some(entry) = table.entries.get_mut(&id) else {
             shared.log(format_args!(
@@ -870,49 +1407,179 @@ fn executor_loop(shared: &Shared, harness: &Harness, runner: Option<&JobRunner>)
             continue;
         };
         match outcome {
-            Ok(result) => {
-                shared
-                    .metrics
-                    .jobs_executed
-                    .fetch_add(result.executed as u64, Ordering::Relaxed);
-                shared
-                    .metrics
-                    .jobs_cached
-                    .fetch_add(result.cached as u64, Ordering::Relaxed);
-                shared
-                    .metrics
-                    .jobs_failed
-                    .fetch_add(result.failures.len() as u64, Ordering::Relaxed);
-                shared
-                    .metrics
-                    .jobs_forked
-                    .fetch_add(result.forked as u64, Ordering::Relaxed);
-                shared
-                    .metrics
-                    .cache_lines_skipped
-                    .fetch_add(result.cache_skipped as u64, Ordering::Relaxed);
-                shared
-                    .metrics
-                    .sweeps_completed
-                    .fetch_add(1, Ordering::Relaxed);
+            Ok(done) => {
+                let m = &shared.metrics;
+                m.jobs_executed.fetch_add(done.executed, Ordering::Relaxed);
+                m.jobs_cached.fetch_add(done.cached, Ordering::Relaxed);
+                m.jobs_failed.fetch_add(done.failures, Ordering::Relaxed);
+                m.jobs_forked.fetch_add(done.forked, Ordering::Relaxed);
+                m.cache_lines_skipped
+                    .fetch_add(done.cache_skipped, Ordering::Relaxed);
+                m.sweeps_completed.fetch_add(1, Ordering::Relaxed);
                 entry.state = EntryState::Done {
-                    lines: Arc::new(
-                        result.records.iter().map(crate::protocol::result_line).collect(),
-                    ),
-                    executed: result.executed as u64,
-                    cached: result.cached as u64,
-                    failures: result.failures.len() as u64,
+                    lines: done.lines,
+                    executed: done.executed,
+                    cached: done.cached,
+                    failures: done.failures,
                 };
             }
             Err(e) => {
-                shared
-                    .metrics
-                    .sweeps_failed
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.sweeps_failed.fetch_add(1, Ordering::Relaxed);
                 entry.state = EntryState::Failed {
                     message: e.to_string(),
                 };
             }
+        }
+    }
+}
+
+struct SweepDone {
+    lines: Arc<Vec<Option<String>>>,
+    executed: u64,
+    cached: u64,
+    failures: u64,
+    forked: u64,
+    cache_skipped: u64,
+}
+
+/// Executes one sweep — locally through the harness, or sharded across
+/// the cluster — filling `partial` with encoded result lines as jobs
+/// complete so attached streams ship them immediately.
+fn run_sweep(
+    harness: &Harness,
+    runner: Option<&JobRunner>,
+    coordinator: Option<&Coordinator>,
+    sweep: &SweepSpec,
+    orig_index: &(dyn Fn(usize) -> u64 + Sync),
+    partial: &PartialLines,
+) -> std::io::Result<SweepDone> {
+    if let Some(coordinator) = coordinator {
+        let orig: Vec<u64> = (0..sweep.len()).map(orig_index).collect();
+        let on_line = |local: usize, line: String| {
+            lock_recover(partial)[local] = Some(line);
+        };
+        let outcome = coordinator.run_sweep(sweep, &orig, &on_line)?;
+        return Ok(SweepDone {
+            lines: Arc::new(outcome.lines),
+            executed: outcome.executed,
+            cached: outcome.cached,
+            failures: outcome.failures,
+            forked: 0,
+            cache_skipped: 0,
+        });
+    }
+    let observe = |rec: &RunRecord| {
+        let line = crate::protocol::result_line_indexed(rec, orig_index(rec.index));
+        lock_recover(partial)[rec.index] = Some(line);
+    };
+    let result = match runner {
+        Some(r) => harness.run_with_observed(sweep, |j| r(j), observe),
+        None => harness.run_observed(sweep, observe),
+    }?;
+    // The observer has filled every successful slot; snapshot it as the
+    // final line set so `results` serves exactly the streamed bytes.
+    let lines = Arc::new(lock_recover(partial).clone());
+    Ok(SweepDone {
+        lines,
+        executed: result.executed as u64,
+        cached: result.cached as u64,
+        failures: result.failures.len() as u64,
+        forked: result.forked as u64,
+        cache_skipped: result.cache_skipped as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::result_line;
+    use senss_harness::SecurityMode;
+    use senss_workloads::Workload;
+
+    #[test]
+    fn frame_extraction_pins_the_size_cap_boundaries() {
+        const MAX: usize = 8;
+        // Exactly `max` content bytes, newline-terminated: accepted.
+        let mut buf = b"12345678\n".to_vec();
+        assert_eq!(
+            extract_frame(&mut buf, MAX),
+            Extracted::Frame(b"12345678".to_vec())
+        );
+        assert!(buf.is_empty());
+        // One content byte over, newline present: rejected — the
+        // newline never rescues an oversized frame.
+        let mut buf = b"123456789\n".to_vec();
+        assert_eq!(extract_frame(&mut buf, MAX), Extracted::TooLong);
+        // Exactly `max` bytes, no newline yet: wait for more input.
+        let mut buf = b"12345678".to_vec();
+        assert_eq!(extract_frame(&mut buf, MAX), Extracted::Incomplete);
+        assert_eq!(buf, b"12345678");
+        // One over without a newline: already rejectable.
+        let mut buf = b"123456789".to_vec();
+        assert_eq!(extract_frame(&mut buf, MAX), Extracted::TooLong);
+        // Empty frames and back-to-back frames drain in order.
+        let mut buf = b"\nab\ncd".to_vec();
+        assert_eq!(extract_frame(&mut buf, MAX), Extracted::Frame(Vec::new()));
+        assert_eq!(extract_frame(&mut buf, MAX), Extracted::Frame(b"ab".to_vec()));
+        assert_eq!(extract_frame(&mut buf, MAX), Extracted::Incomplete);
+        assert_eq!(buf, b"cd");
+    }
+
+    /// Regression test: a queue id whose entry is already finished must
+    /// be skipped WITHOUT touching its state. The old executor replaced
+    /// the state with `Running` before inspecting it, wiping the result
+    /// lines of a `Done` entry and stranding it un-streamable.
+    #[test]
+    fn executor_skips_stale_queue_ids_without_clobbering_done_entries() {
+        let cfg = ServerConfig::loopback();
+        let shared = Shared::from_config(&cfg);
+        let spec = JobSpec::new(Workload::Fft, 2, 1 << 20)
+            .with_ops(200)
+            .with_mode(SecurityMode::senss());
+        let rec = RunRecord {
+            index: 0,
+            spec,
+            key: spec.cache_key(),
+            stats: Stats {
+                total_cycles: 42,
+                ..Stats::default()
+            },
+            wall_micros: 1,
+            worker: Some(0),
+            attempts: 1,
+            cached: false,
+            trace_artifact: None,
+        };
+        let line = result_line(&rec);
+        {
+            let mut table = lock_recover(&shared.table);
+            table.entries.insert(
+                7,
+                Entry {
+                    jobs: 1,
+                    state: EntryState::Done {
+                        lines: Arc::new(vec![Some(line.clone())]),
+                        executed: 1,
+                        cached: 0,
+                        failures: 0,
+                    },
+                },
+            );
+            // The corruption scenario: the finished sweep's id is
+            // (wrongly) back on the queue.
+            table.queue.push_back(7);
+        }
+        shared.shutdown.store(true, Ordering::SeqCst);
+        let harness = Harness::new(HarnessConfig::hermetic());
+        executor_loop(&shared, &harness, None, None);
+
+        let table = lock_recover(&shared.table);
+        match &table.entries.get(&7).unwrap().state {
+            EntryState::Done { lines, executed, .. } => {
+                assert_eq!(lines.as_ref(), &vec![Some(line)]);
+                assert_eq!(*executed, 1);
+            }
+            _ => panic!("stale queue id must not clobber the Done entry"),
         }
     }
 }

@@ -496,3 +496,133 @@ fn submits_after_shutdown_are_refused() {
     }
     server.join();
 }
+
+#[test]
+fn stream_attached_mid_run_is_byte_identical_to_results() {
+    // Slow every job down so the stream demonstrably attaches before
+    // the sweep finishes; the wrapped runner leaves result bytes
+    // untouched.
+    let cfg = ServerConfig::loopback().with_runner(Arc::new(|job: &JobSpec| {
+        std::thread::sleep(Duration::from_millis(50));
+        job.run()
+    }));
+    let server = Server::start(cfg).unwrap();
+    let client = Client::new(server.addr().to_string()).with_timeout(Duration::from_secs(30));
+
+    let sweep = small_sweep("streamed", 17);
+    let (id, _) = client.submit(&sweep).expect("submit");
+    let info = client.status(id).expect("status");
+    assert!(
+        matches!(info.state, SweepState::Queued | SweepState::Running),
+        "stream must attach before completion, but sweep is {:?}",
+        info.state
+    );
+    // Blocks until the server's end trailer, receiving each line as its
+    // job completes.
+    let streamed = client.stream_raw(id).expect("stream");
+
+    assert_eq!(streamed, direct_result_lines(&sweep));
+    assert_eq!(streamed, client.results_raw(id).expect("results"));
+    let snapshot = client.metrics().expect("metrics");
+    assert_eq!(
+        snapshot
+            .get("requests_stream")
+            .and_then(senss_harness::json::Value::as_u64),
+        Some(1)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn sharded_submit_tags_result_lines_with_original_indices() {
+    let server = Server::start(ServerConfig::loopback()).unwrap();
+    let client = Client::new(server.addr().to_string()).with_timeout(Duration::from_secs(30));
+
+    let sweep = small_sweep("tagged", 19);
+    let indices = [12u64, 9, 4, 30];
+    let (id, jobs) = client.submit_sharded(&sweep, &indices).expect("submit");
+    assert_eq!(jobs, 4);
+    let lines = loop {
+        match client.results_raw(id) {
+            Ok(lines) => break lines,
+            Err(ClientError::Server {
+                class: ErrorClass::NotReady,
+                ..
+            }) => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => panic!("results: {e}"),
+        }
+    };
+    // Lines come back in submitted-job order but each carries the
+    // caller's original index — the merge contract coordinators rely on.
+    assert_eq!(lines.len(), 4);
+    for (line, want) in lines.iter().zip(indices) {
+        let got = senss_harness::json::parse(line)
+            .ok()
+            .and_then(|v| v.get("index").and_then(senss_harness::json::Value::as_u64));
+        assert_eq!(got, Some(want), "line: {line}");
+    }
+
+    // An indices array that disagrees with the job count is malformed.
+    match client.submit_sharded(&sweep, &indices[..3]) {
+        Err(ClientError::Server {
+            class: ErrorClass::Malformed,
+            ..
+        }) => {}
+        other => panic!("short indices must be rejected, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn connections_beyond_the_cap_are_shed_with_overloaded() {
+    let cfg = ServerConfig::loopback().with_max_conns(2);
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    // Fill the two slots and prove they are registered (served a ping).
+    let mut held = Vec::new();
+    for i in 0..2 {
+        let conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut writer = BufWriter::new(conn.try_clone().unwrap());
+        writeln!(writer, r#"{{"v":1,"type":"ping"}}"#).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(conn.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert!(line.contains("pong"), "conn {i} got: {line}");
+        held.push(conn);
+    }
+
+    // The third is shed with a structured, retriable overloaded error —
+    // not a silent reset.
+    let extra = TcpStream::connect(addr).unwrap();
+    extra.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reader = BufReader::new(extra.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    match Response::decode(line.trim()) {
+        Ok(Response::Error {
+            class: ErrorClass::Overloaded,
+            retriable: true,
+            ..
+        }) => {}
+        other => panic!("expected an overloaded shed frame, got {other:?} ({line:?})"),
+    }
+
+    // The held connections keep working; freeing one admits new peers.
+    drop(held.pop());
+    let client = Client::new(addr.to_string()).with_timeout(Duration::from_secs(10));
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match client.ping() {
+            Ok(()) => break,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20))
+            }
+            Err(e) => panic!("freed slot never became usable: {e}"),
+        }
+    }
+    server.shutdown();
+}

@@ -1,0 +1,90 @@
+//! Competing security backends for the SENSS simulator.
+//!
+//! SENSS's chained-MAC + CBC split (HPCA 2005) is one point in a design
+//! space the paper could never survey. This crate implements three
+//! alternatives from later work, each as a [`senss_sim::Extension`] so
+//! they compete with the paper's design on exactly equal footing — same
+//! simulator, same workloads, same harness, one cross-backend figure
+//! (`figure_backends` in `senss-bench`):
+//!
+//! * [`ServasExtension`] — SERVAS-style **authenticryption**
+//!   (arXiv:2105.03395): encryption and authentication fused into one
+//!   cipher pass per bus transfer. One AES-pipeline issue per transfer
+//!   (vs SENSS-CBC's two) and a per-transfer fused tag, so there is *no*
+//!   separate chained-MAC authentication traffic at all.
+//! * [`SealerExtension`] — Sealer **in-SRAM AES** (arXiv:2207.01298):
+//!   the SENSS datapath unchanged (chained MAC, auth intervals, CBC
+//!   masks) but with mask generation computed inside the SRAM array, so
+//!   the 80-cycle AES unit becomes a ~2-cycle one and mask stalls all
+//!   but vanish.
+//! * [`ScatteredExtension`] — **secret-sharing scattered memory**
+//!   (arXiv:2402.15824 flavor): memory lines are split into XOR shares
+//!   stored at scattered addresses; MAC verification is replaced by
+//!   share reconstruction checks. Bus transfers need no AES masks
+//!   (information-theoretic shares), but memory fills fetch sibling
+//!   shares through the ordinary cache + bus machinery.
+//!
+//! Every backend checkpoint/restores its mutable state through the
+//! [`Extension::snapshot`]/[`Extension::restore`] hooks under its own
+//! key prefix (`servas.`, `sealer.`, `scat.`) — a snapshot captured
+//! under one backend can never be silently restored into another — and
+//! emits `ShuEncrypt`/`ShuVerify` events into `senss-trace` sinks.
+//!
+//! # Constant-time discipline
+//!
+//! Every comparison of secret material (fused tags, reconstructed
+//! shares) goes through [`senss_crypto::Block::ct_eq`] — never the
+//! short-circuiting `PartialEq`. The `ct_eq_audit` integration test
+//! pins this by grepping the crate's sources.
+//!
+//! # Adding a fourth backend
+//!
+//! See `docs/security-backends.md` at the repository root for the
+//! checklist (Extension impl, `SecurityMode` variant, tag codec,
+//! snapshot namespace, golden fixtures, figure wiring).
+//!
+//! [`Extension::snapshot`]: senss_sim::Extension::snapshot
+//! [`Extension::restore`]: senss_sim::Extension::restore
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod scattered;
+mod sealer;
+mod servas;
+
+pub use scattered::{ScatteredConfig, ScatteredExtension, ScatteredStats, SHARE_REGION_BASE};
+pub use sealer::{SealerConfig, SealerExtension};
+pub use servas::{ServasConfig, ServasExtension, ServasStats};
+
+use senss_crypto::Block;
+
+/// Constant-time verification of a computed secret value against its
+/// expected value. All tag/share comparison paths in this crate go
+/// through here (pinned by the `ct_eq_audit` test): a timing-dependent
+/// comparison would leak how much of a forged value was correct.
+#[inline]
+pub fn ct_verify(got: Block, want: Block) -> bool {
+    got.ct_eq(&want)
+}
+
+/// Restores the `u64` value stored under `key`, panicking with a
+/// backend-identifying message when the key is absent — a missing key
+/// means the snapshot was captured under a different backend (or
+/// format), and silently continuing would corrupt the simulation.
+pub(crate) fn must_get(map: &std::collections::BTreeMap<&str, u64>, key: &str) -> u64 {
+    *map.get(key)
+        .unwrap_or_else(|| panic!("snapshot missing key {key}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_verify_matches_equality_semantics() {
+        let a = Block::from([0x5A; 16]);
+        assert!(ct_verify(a, Block::from([0x5A; 16])));
+        assert!(!ct_verify(a, Block::ZERO));
+    }
+}

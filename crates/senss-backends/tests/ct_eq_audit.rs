@@ -1,0 +1,91 @@
+//! Pins the constant-time discipline of `senss-backends`: no source
+//! line that touches secret material (tags, shares, fingerprints,
+//! attestation chains, pads) may compare it with the short-circuiting
+//! `==` operator — every such comparison must route through
+//! `Block::ct_eq` (via `ct_verify`). A timing-dependent compare would
+//! leak how much of a forged value was correct, byte by byte.
+
+/// Identifiers that name secret material in this crate. A line
+/// mentioning one of these and using `==` is a finding unless the
+/// comparison is the constant-time one.
+const SECRET_MARKERS: &[&str] = &[
+    "tag",
+    "share",
+    "fingerprint",
+    "chain",
+    "pad",
+    "reconstruct",
+    "mask",
+];
+
+const SOURCES: &[(&str, &str)] = &[
+    ("src/lib.rs", include_str!("../src/lib.rs")),
+    ("src/servas.rs", include_str!("../src/servas.rs")),
+    ("src/sealer.rs", include_str!("../src/sealer.rs")),
+    ("src/scattered.rs", include_str!("../src/scattered.rs")),
+];
+
+/// Strips `//` comments (no raw-string-aware parsing needed: the crate
+/// sources keep `//` out of string literals, asserted below).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[test]
+fn no_equality_operator_on_secret_material() {
+    let mut findings = Vec::new();
+    for (path, text) in SOURCES {
+        for (ln, line) in text.lines().enumerate() {
+            let code = code_part(line);
+            if !code.contains("==") {
+                continue;
+            }
+            let lower = code.to_ascii_lowercase();
+            let touches_secret = SECRET_MARKERS.iter().any(|m| lower.contains(m));
+            let constant_time = code.contains("ct_eq") || code.contains("ct_verify");
+            if touches_secret && !constant_time {
+                findings.push(format!("{path}:{}: {}", ln + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        findings.is_empty(),
+        "secret material compared with `==` instead of ct_eq:\n{}",
+        findings.join("\n")
+    );
+}
+
+#[test]
+fn every_backend_with_a_functional_slice_uses_ct_verify() {
+    for (path, text) in SOURCES {
+        if *path == "src/servas.rs" || *path == "src/scattered.rs" {
+            assert!(
+                text.contains("ct_verify("),
+                "{path} must verify its secrets through ct_verify"
+            );
+        }
+    }
+}
+
+#[test]
+fn comment_stripping_assumption_holds() {
+    // `code_part` assumes `//` never appears inside a string literal in
+    // these sources; a URL or glob in a string would silently disable
+    // auditing of the rest of that line.
+    for (path, text) in SOURCES {
+        for (ln, line) in text.lines().enumerate() {
+            if let Some(i) = line.find("//") {
+                let before = &line[..i];
+                assert_eq!(
+                    before.matches('"').count() % 2,
+                    0,
+                    "{path}:{}: `//` inside a string literal defeats the audit",
+                    ln + 1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The cross-backend comparison figure: SENSS vs the `senss-backends`
+//! alternatives (SERVAS authenticryption, Sealer in-SRAM AES,
+//! secret-sharing scattered memory), as overhead vs the insecure
+//! baseline over workloads × 4/8/16 processors × three scale points.
+//!
+//! ```text
+//! figure_backends [--smoke] [--out results/backends.jsonl]
+//! ```
+//!
+//! `--smoke` shrinks the grid to three workloads at a fixed 900
+//! ops/core (ignoring `SENSS_OPS`) — the CI configuration, small enough
+//! to run three ways (local, cluster, warm-start) and `cmp` the
+//! outputs. The JSONL table is a pure function of the simulated stats:
+//! byte-identical across worker counts, cache warmth, `SENSS_SERVE`
+//! remoting and `HARNESS_WARM_START` snapshot forking.
+
+use senss_bench::{backends, sweeps, RunEnv};
+use std::path::PathBuf;
+
+fn main() {
+    let mut smoke = false;
+    let mut out = PathBuf::from("results/backends.jsonl");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            other => {
+                eprintln!("unknown flag {other:?}; usage: figure_backends [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut env = RunEnv::from_env();
+    if smoke {
+        env.ops = 900;
+    }
+    env.banner(if smoke {
+        "Cross-backend comparison (smoke grid)"
+    } else {
+        "Cross-backend comparison: SENSS vs SERVAS vs Sealer vs scattered memory"
+    });
+
+    let workloads = backends::workloads(smoke);
+    let sweep = backends::sweep(&workloads, env.ops, env.seed);
+    let result = sweeps::execute(&sweep);
+    let cells = backends::cells(&result, &workloads, env.ops, env.seed);
+
+    print!("{}", backends::human_table(&cells, &workloads, env.ops));
+
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    let table = backends::jsonl_table(&cells);
+    std::fs::write(&out, &table).expect("write jsonl table");
+    eprintln!(
+        "wrote {} line(s) to {} ({} jobs, {} cached, {} forked)",
+        cells.len(),
+        out.display(),
+        result.records.len(),
+        result.cached,
+        result.forked,
+    );
+    println!(
+        "Reading: servas ≈ senss minus auth traffic; sealer ≈ senss minus mask stalls; \
+         scattered trades crypto stalls for share-fetch traffic."
+    );
+}

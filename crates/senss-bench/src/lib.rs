@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backends;
 pub mod benchkit;
 pub mod sweeps;
 

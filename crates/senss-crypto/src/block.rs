@@ -82,6 +82,19 @@ impl Block {
         acc == 0
     }
 
+    /// Constant-time equality over raw byte slices — the [`Block::ct_eq`]
+    /// discipline for secret material that is not block-shaped (key
+    /// shares, serialized tags). Slices of different lengths compare
+    /// unequal, but the byte scan still covers the shorter slice in
+    /// full, so timing reveals only lengths (public) and never content.
+    pub fn ct_eq_bytes(a: &[u8], b: &[u8]) -> bool {
+        let mut acc = u8::from(a.len() != b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            acc |= x ^ y;
+        }
+        acc == 0
+    }
+
     /// Returns the `m`-bit prefix of the block as a MAC value, per the
     /// paper's Equation (1) (`1 <= m <= 128`), packed into a block whose
     /// remaining bits are zero.
@@ -237,6 +250,15 @@ mod tests {
             bytes[i] ^= 0x01;
             assert!(!a.ct_eq(&Block::from(bytes)), "difference at byte {i}");
         }
+    }
+
+    #[test]
+    fn ct_eq_bytes_handles_unequal_lengths_and_content() {
+        assert!(Block::ct_eq_bytes(b"abc", b"abc"));
+        assert!(Block::ct_eq_bytes(b"", b""));
+        assert!(!Block::ct_eq_bytes(b"abc", b"abd"));
+        assert!(!Block::ct_eq_bytes(b"abc", b"ab"));
+        assert!(!Block::ct_eq_bytes(b"", b"x"));
     }
 
     #[test]

@@ -326,6 +326,30 @@ mod tests {
     }
 
     #[test]
+    fn backend_mode_specs_round_trip() {
+        // The wire/record codec must carry every senss-backends mode:
+        // a serve worker decodes the spec from exactly these fields.
+        for mode in [
+            SecurityMode::servas(),
+            SecurityMode::Servas { masks: 2 },
+            SecurityMode::sealer(),
+            SecurityMode::Sealer { auth_interval: 1 },
+            SecurityMode::scattered(),
+            SecurityMode::Scattered { shares: 4 },
+        ] {
+            let spec = JobSpec::new(Workload::Fft, 4, 1 << 20)
+                .with_mode(mode)
+                .with_ops(1_234)
+                .with_seed(7);
+            assert_eq!(
+                decode_spec(&Value::Obj(encode_spec(&spec))),
+                Some(spec),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
     fn capture_field_is_optional_and_strict() {
         use crate::spec::TraceCapture;
         let plain = JobSpec::new(Workload::Fft, 2, 1 << 20);

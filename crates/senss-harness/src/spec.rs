@@ -14,6 +14,10 @@
 //! affected entries.
 
 use senss::secure_bus::{CipherMode, SenssConfig, SenssExtension};
+use senss_backends::{
+    ScatteredConfig, ScatteredExtension, SealerConfig, SealerExtension, ServasConfig,
+    ServasExtension,
+};
 use senss_crypto::sha256::Sha256;
 use senss_memprot::{MemProtConfig, MemProtPolicy};
 use senss_sim::config::{CoherenceProtocol, SchedulerKind};
@@ -54,6 +58,25 @@ pub enum SecurityMode {
         auth_interval: u64,
         /// Encryption/authentication algorithm pair.
         cipher: CipherMode,
+    },
+    /// SERVAS-style authenticryption (`senss-backends`): one fused
+    /// encrypt+authenticate pass per transfer, no separate
+    /// authentication traffic.
+    Servas {
+        /// Fused-pass buffer count (the mask-count analogue).
+        masks: usize,
+    },
+    /// Sealer in-SRAM AES (`senss-backends`): the SENSS datapath on a
+    /// ~2-cycle in-array crypto pipeline.
+    Sealer {
+        /// Cache-to-cache transfers between authentication rounds.
+        auth_interval: u64,
+    },
+    /// Secret-sharing scattered memory (`senss-backends`): lines split
+    /// into XOR shares, MAC verification replaced by reconstruction.
+    Scattered {
+        /// Shares per memory line.
+        shares: u32,
     },
 }
 
@@ -112,6 +135,28 @@ impl SecurityMode {
         }
     }
 
+    /// SERVAS authenticryption with the reference 8 fused-pass buffers.
+    pub fn servas() -> SecurityMode {
+        SecurityMode::Servas {
+            masks: ServasConfig::paper_default(1).num_masks,
+        }
+    }
+
+    /// Sealer in-SRAM AES with the reference interval-100
+    /// authentication.
+    pub fn sealer() -> SecurityMode {
+        SecurityMode::Sealer {
+            auth_interval: SealerConfig::paper_default(1).auth_interval,
+        }
+    }
+
+    /// Secret-sharing scattered memory with the reference 3 shares.
+    pub fn scattered() -> SecurityMode {
+        SecurityMode::Scattered {
+            shares: ScatteredConfig::paper_default(1).shares,
+        }
+    }
+
     /// Canonical tag used in cache keys and run records.
     pub fn tag(&self) -> String {
         fn cipher_tag(c: CipherMode) -> &'static str {
@@ -135,6 +180,9 @@ impl SecurityMode {
                 "integrated:m{masks}:i{auth_interval}:{}",
                 cipher_tag(*cipher)
             ),
+            SecurityMode::Servas { masks } => format!("servas:m{masks}"),
+            SecurityMode::Sealer { auth_interval } => format!("sealer:i{auth_interval}"),
+            SecurityMode::Scattered { shares } => format!("scattered:n{shares}"),
         }
     }
 
@@ -145,29 +193,61 @@ impl SecurityMode {
             return Some(SecurityMode::Baseline);
         }
         let (family, rest) = tag.split_once(':')?;
-        let mut parts = rest.split(':');
-        let masks = parts.next()?.strip_prefix('m')?.parse().ok()?;
-        let auth_interval = parts.next()?.strip_prefix('i')?.parse().ok()?;
-        let cipher = match parts.next()? {
-            "cbc" => CipherMode::CbcTwoPass,
-            "gcm" => CipherMode::GcmSinglePass,
-            _ => return None,
-        };
-        if parts.next().is_some() {
-            return None;
-        }
         match family {
-            "senss" => Some(SecurityMode::Senss {
-                masks,
-                auth_interval,
-                cipher,
+            // The single-knob backend families: one `<letter><value>`
+            // parameter, nothing else.
+            "servas" => Some(SecurityMode::Servas {
+                masks: rest.strip_prefix('m')?.parse().ok()?,
             }),
-            "integrated" => Some(SecurityMode::Integrated {
-                masks,
-                auth_interval,
-                cipher,
+            "sealer" => Some(SecurityMode::Sealer {
+                auth_interval: rest.strip_prefix('i')?.parse().ok()?,
             }),
+            "scattered" => Some(SecurityMode::Scattered {
+                shares: rest.strip_prefix('n')?.parse().ok()?,
+            }),
+            "senss" | "integrated" => {
+                let mut parts = rest.split(':');
+                let masks = parts.next()?.strip_prefix('m')?.parse().ok()?;
+                let auth_interval = parts.next()?.strip_prefix('i')?.parse().ok()?;
+                let cipher = match parts.next()? {
+                    "cbc" => CipherMode::CbcTwoPass,
+                    "gcm" => CipherMode::GcmSinglePass,
+                    _ => return None,
+                };
+                if parts.next().is_some() {
+                    return None;
+                }
+                if family == "senss" {
+                    Some(SecurityMode::Senss {
+                        masks,
+                        auth_interval,
+                        cipher,
+                    })
+                } else {
+                    Some(SecurityMode::Integrated {
+                        masks,
+                        auth_interval,
+                        cipher,
+                    })
+                }
+            }
             _ => None,
+        }
+    }
+
+    /// Relative cost weight of simulating this mode (baseline = 100),
+    /// the mode factor in [`JobSpec::estimated_cost`]. Calibrated
+    /// coarsely from wall-time ratios: the integrated stack walks
+    /// Merkle chains (expensive), scattered memory multiplies fill
+    /// traffic, the bus-only modes add a few percent.
+    pub fn cost_weight(&self) -> u64 {
+        match self {
+            SecurityMode::Baseline => 100,
+            SecurityMode::Senss { .. } => 104,
+            SecurityMode::Integrated { .. } => 145,
+            SecurityMode::Servas { .. } => 103,
+            SecurityMode::Sealer { .. } => 102,
+            SecurityMode::Scattered { .. } => 120,
         }
     }
 }
@@ -415,6 +495,15 @@ impl JobSpec {
                         .with_memory_protection(policy),
                 )
             }
+            SecurityMode::Servas { masks } => Box::new(ServasExtension::new(
+                ServasConfig::paper_default(self.cores).with_masks(masks),
+            )),
+            SecurityMode::Sealer { auth_interval } => Box::new(SealerExtension::new(
+                SealerConfig::paper_default(self.cores).with_auth_interval(auth_interval),
+            )),
+            SecurityMode::Scattered { shares } => Box::new(ScatteredExtension::new(
+                ScatteredConfig::paper_default(self.cores).with_shares(shares),
+            )),
         }
     }
 
@@ -474,6 +563,22 @@ impl JobSpec {
                     .with_memory_protection(policy);
                 finish(System::new(cfg, traces, ext))
             }
+            SecurityMode::Servas { masks } => {
+                let ext = ServasExtension::new(ServasConfig::paper_default(self.cores).with_masks(masks));
+                finish(System::new(cfg, traces, ext))
+            }
+            SecurityMode::Sealer { auth_interval } => {
+                let ext = SealerExtension::new(
+                    SealerConfig::paper_default(self.cores).with_auth_interval(auth_interval),
+                );
+                finish(System::new(cfg, traces, ext))
+            }
+            SecurityMode::Scattered { shares } => {
+                let ext = ScatteredExtension::new(
+                    ScatteredConfig::paper_default(self.cores).with_shares(shares),
+                );
+                finish(System::new(cfg, traces, ext))
+            }
         }
     }
 
@@ -508,6 +613,22 @@ impl JobSpec {
                 let policy = MemProtPolicy::new(MemProtConfig::paper_default(self.cores));
                 let ext = SenssExtension::new(self.senss_config(masks, auth_interval, cipher))
                     .with_memory_protection(policy);
+                finish(System::with_sink(cfg, traces, ext, sink))
+            }
+            SecurityMode::Servas { masks } => {
+                let ext = ServasExtension::new(ServasConfig::paper_default(self.cores).with_masks(masks));
+                finish(System::with_sink(cfg, traces, ext, sink))
+            }
+            SecurityMode::Sealer { auth_interval } => {
+                let ext = SealerExtension::new(
+                    SealerConfig::paper_default(self.cores).with_auth_interval(auth_interval),
+                );
+                finish(System::with_sink(cfg, traces, ext, sink))
+            }
+            SecurityMode::Scattered { shares } => {
+                let ext = ScatteredExtension::new(
+                    ScatteredConfig::paper_default(self.cores).with_shares(shares),
+                );
                 finish(System::with_sink(cfg, traces, ext, sink))
             }
         }
@@ -545,6 +666,15 @@ impl JobSpec {
             c.aes_latency,
             c.hash_latency,
         )
+    }
+
+    /// Estimated simulation cost of this job in arbitrary units: the
+    /// cycle budget (`ops_per_core × cores`) scaled by the mode's
+    /// [`cost_weight`](SecurityMode::cost_weight). Used by
+    /// [`SweepSpec::shards`] to balance heterogeneous sweeps across
+    /// workers; never zero, so every job moves the balance.
+    pub fn estimated_cost(&self) -> u64 {
+        ((self.ops_per_core as u64) * (self.cores as u64)).max(1) * self.mode.cost_weight()
     }
 
     /// The content-addressed cache key: hex SHA-256 of [`canonical`].
@@ -624,16 +754,26 @@ impl SweepSpec {
         self.jobs.is_empty()
     }
 
-    /// Splits the sweep into at most `n` shards by deterministic
-    /// round-robin assignment (job `i` goes to shard `i % n`). Empty
-    /// shards are omitted, so the returned vector has
-    /// `min(n, self.len())` entries for a non-empty sweep.
+    /// Splits the sweep into at most `n` shards, balancing
+    /// [`JobSpec::estimated_cost`] instead of job *count*: each job (in
+    /// sweep order) goes to the currently least-loaded shard, ties
+    /// resolved to the lowest shard number. A sweep mixing 16-core
+    /// integrated-mode jobs with 4-core baselines therefore spreads its
+    /// expensive points across workers instead of letting `i % n` pile
+    /// them onto whichever slot the grid order happens to align with.
+    /// For a uniform-cost sweep the greedy assignment degenerates to
+    /// exactly the old round-robin, and it is deterministic either way
+    /// (pure function of the spec). Empty shards are omitted, so the
+    /// returned vector has `min(n, self.len())` entries for a
+    /// non-empty sweep (costs are never zero, so an idle shard always
+    /// wins the tie before any shard receives a second job).
     ///
     /// Within a shard, jobs keep their sweep order, so a shard's
     /// results sorted by its [`SweepShard::indices`] interleave back
     /// into exactly the original sweep order — the property the
     /// `senss-serve` coordinator's ordered merge relies on for
-    /// byte-identical sharded results.
+    /// byte-identical sharded results no matter how jobs were
+    /// balanced.
     pub fn shards(&self, n: usize) -> Vec<SweepShard> {
         let n = n.max(1);
         let mut shards: Vec<SweepShard> = (0..n.min(self.jobs.len()))
@@ -643,8 +783,16 @@ impl SweepSpec {
                 spec: SweepSpec::new(&format!("{}.s{shard}", self.name)),
             })
             .collect();
+        let mut loads = vec![0u64; shards.len()];
         for (i, job) in self.jobs.iter().enumerate() {
-            let s = &mut shards[i % n];
+            let lightest = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(slot, &load)| (load, slot))
+                .map(|(slot, _)| slot)
+                .expect("non-empty sweep has at least one shard");
+            loads[lightest] += job.estimated_cost();
+            let s = &mut shards[lightest];
             s.indices.push(i);
             s.spec.jobs.push(*job);
         }
@@ -756,6 +904,9 @@ mod tests {
             SecurityMode::Baseline,
             SecurityMode::senss(),
             SecurityMode::integrated(),
+            SecurityMode::servas(),
+            SecurityMode::sealer(),
+            SecurityMode::scattered(),
         ] {
             let stats = JobSpec::new(Workload::Lu, 2, 1 << 20)
                 .with_mode(mode)
@@ -766,6 +917,39 @@ mod tests {
     }
 
     #[test]
+    fn backend_modes_have_distinct_cache_keys() {
+        // Satellite guarantee: every backend variant perturbs the
+        // content-addressed key, so no backend can ever read another's
+        // cached result.
+        let base = JobSpec::new(Workload::Fft, 4, 1 << 20);
+        let modes = [
+            SecurityMode::Baseline,
+            SecurityMode::senss(),
+            SecurityMode::integrated(),
+            SecurityMode::servas(),
+            SecurityMode::sealer(),
+            SecurityMode::scattered(),
+        ];
+        let keys: Vec<String> = modes.iter().map(|m| base.with_mode(*m).cache_key()).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "{:?} vs {:?}", modes[i], modes[j]);
+                }
+            }
+        }
+        // The backend knobs themselves are part of the key too.
+        assert_ne!(
+            base.with_mode(SecurityMode::Servas { masks: 8 }).cache_key(),
+            base.with_mode(SecurityMode::Servas { masks: 2 }).cache_key(),
+        );
+        assert_ne!(
+            base.with_mode(SecurityMode::Scattered { shares: 3 }).cache_key(),
+            base.with_mode(SecurityMode::Scattered { shares: 5 }).cache_key(),
+        );
+    }
+
+    #[test]
     fn tags_round_trip() {
         for mode in [
             SecurityMode::Baseline,
@@ -773,9 +957,18 @@ mod tests {
             SecurityMode::senss_masks(usize::MAX),
             SecurityMode::senss_interval(1),
             SecurityMode::integrated(),
+            SecurityMode::servas(),
+            SecurityMode::Servas { masks: 1 },
+            SecurityMode::sealer(),
+            SecurityMode::Sealer { auth_interval: 7 },
+            SecurityMode::scattered(),
+            SecurityMode::Scattered { shares: 5 },
         ] {
             assert_eq!(SecurityMode::from_tag(&mode.tag()), Some(mode));
         }
+        assert_eq!(SecurityMode::servas().tag(), "servas:m8");
+        assert_eq!(SecurityMode::sealer().tag(), "sealer:i100");
+        assert_eq!(SecurityMode::scattered().tag(), "scattered:n3");
         for trace in [
             TraceSpec::Workload(Workload::Fft),
             TraceSpec::Workload(Workload::Ocean),
@@ -791,7 +984,20 @@ mod tests {
         ] {
             assert_eq!(coherence_from_tag(coherence_tag(p)), Some(p));
         }
-        for bad in ["", "senss", "senss:m8", "senss:m8:i1:rot13", "sens:m1:i1:cbc", "quux"] {
+        for bad in [
+            "",
+            "senss",
+            "senss:m8",
+            "senss:m8:i1:rot13",
+            "sens:m1:i1:cbc",
+            "quux",
+            "servas",
+            "servas:8",
+            "servas:m8:i1",
+            "sealer:m8",
+            "scattered:n",
+            "scattered:nthree",
+        ] {
             assert_eq!(SecurityMode::from_tag(bad), None, "{bad}");
         }
         assert_eq!(TraceSpec::from_tag("micro:nope"), None);
@@ -832,6 +1038,45 @@ mod tests {
         assert_eq!(whole.len(), 1);
         assert_eq!(whole[0].spec.jobs, sweep.jobs);
         assert!(SweepSpec::new("empty").shards(3).is_empty());
+    }
+
+    #[test]
+    fn shards_balance_estimated_cost() {
+        // 1 expensive 16-core integrated job + 3 cheap 2-core baselines:
+        // round-robin (i % 2) would put the expensive job AND the third
+        // cheap job on shard 0; cost balancing sends all cheap jobs to
+        // shard 1.
+        let mut sweep = SweepSpec::new("costly");
+        sweep.push(
+            JobSpec::new(Workload::Fft, 16, 1 << 20)
+                .with_mode(SecurityMode::integrated())
+                .with_ops(10_000),
+        );
+        for _ in 0..3 {
+            sweep.push(JobSpec::new(Workload::Fft, 2, 1 << 20).with_ops(1_000));
+        }
+        let shards = sweep.shards(2);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].indices, vec![0]);
+        assert_eq!(shards[1].indices, vec![1, 2, 3]);
+        // The merge precondition holds regardless of balance.
+        for s in &shards {
+            assert!(s.indices.windows(2).all(|w| w[0] < w[1]));
+            for (&orig, job) in s.indices.iter().zip(&s.spec.jobs) {
+                assert_eq!(*job, sweep.jobs[orig]);
+            }
+        }
+        // Deterministic: same spec, same split.
+        assert_eq!(shards, sweep.shards(2));
+        // Cost weights order the modes as documented.
+        assert!(
+            JobSpec::new(Workload::Fft, 4, 1 << 20)
+                .with_mode(SecurityMode::integrated())
+                .estimated_cost()
+                > JobSpec::new(Workload::Fft, 4, 1 << 20)
+                    .with_mode(SecurityMode::scattered())
+                    .estimated_cost()
+        );
     }
 
     #[test]

@@ -42,6 +42,49 @@ fn synthetic(spec: &JobSpec) -> Stats {
 }
 
 #[test]
+fn a_servas_job_never_reads_a_cached_senss_cbc_result() {
+    // Regression for the senss-backends rollout: the mode tag is part
+    // of the canonical form, so a SERVAS job with an otherwise
+    // identical shape must miss the cache entry a SENSS-CBC run wrote
+    // (and vice versa for every other backend pair).
+    let dir = tmp_dir("backend-cache-isolation");
+    let shape = JobSpec::new(Workload::Fft, 2, 1 << 20).with_ops(400);
+    let senss_job = shape.with_mode(SecurityMode::senss());
+    let servas_job = shape.with_mode(SecurityMode::servas());
+    assert_ne!(senss_job.cache_key(), servas_job.cache_key());
+
+    let cfg = HarnessConfig::hermetic().with_cache_dir(&dir);
+    let mut warm = SweepSpec::new("senss-cbc");
+    warm.push(senss_job);
+    let first = Harness::new(cfg.clone()).run(&warm).unwrap();
+    assert_eq!(first.cached, 0);
+
+    // The SENSS entry is hot now — but the SERVAS job must still run.
+    let mut cross = SweepSpec::new("servas");
+    cross.push(servas_job);
+    let second = Harness::new(cfg.clone()).run(&cross).unwrap();
+    assert_eq!(second.cached, 0, "SERVAS read a SENSS-CBC cache line");
+    assert_ne!(
+        first.records[0].stats, second.records[0].stats,
+        "the two modes simulate differently, so a silent hit would corrupt figures"
+    );
+
+    // Each mode does hit its *own* entry on re-run, and the record
+    // codec round-trips the backend spec it was keyed under.
+    for (sweep, job) in [(&warm, senss_job), (&cross, servas_job)] {
+        let rerun = Harness::new(cfg.clone()).run(sweep).unwrap();
+        assert_eq!(rerun.cached, 1);
+        assert_eq!(rerun.records[0].spec, job);
+        let line = rerun.records[0].encode();
+        let parsed = senss_harness::json::parse(&line).unwrap();
+        let decoded = senss_harness::RunRecord::decode(&parsed).unwrap();
+        assert_eq!(decoded.spec, job);
+        assert!(decoded.cached);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn one_worker_and_many_workers_agree_exactly() {
     let sweep = small_sweep("det");
     let serial = Harness::new(HarnessConfig::hermetic())

@@ -218,6 +218,9 @@ fn build_sweep(flags: &Flags) -> SweepSpec {
             "baseline" => SecurityMode::Baseline,
             "senss" => SecurityMode::senss(),
             "integrated" => SecurityMode::integrated(),
+            "servas" => SecurityMode::servas(),
+            "sealer" => SecurityMode::sealer(),
+            "scattered" => SecurityMode::scattered(),
             tag => SecurityMode::from_tag(tag)
                 .unwrap_or_else(|| fail(format_args!("unknown mode {tag:?}"))),
         })

@@ -112,6 +112,36 @@ fn sharded_sweep_is_byte_identical_to_a_local_run() {
 }
 
 #[test]
+fn backend_modes_cross_the_wire_byte_identically() {
+    // senss-backends modes ride the same NDJSON wire format: workers
+    // decode `servas:m8`-style tags into the right extension, and the
+    // merged results match a local run byte for byte.
+    let cfg = ServerConfig::loopback().with_cluster(cluster_config(0));
+    let server = Server::start(cfg).expect("coordinator start");
+    let client = Client::new(server.addr().to_string()).with_timeout(Duration::from_secs(120));
+
+    let mut sweep = SweepSpec::new("backends-wire");
+    sweep.grid(
+        &[Workload::Fft],
+        &[2],
+        &[1 << 20],
+        &[
+            SecurityMode::servas(),
+            SecurityMode::sealer(),
+            SecurityMode::scattered(),
+        ],
+        300,
+        3,
+    );
+    let (id, jobs) = client.submit(&sweep).expect("submit");
+    assert_eq!(jobs, 3);
+    wait_done(&client, id, Duration::from_secs(120));
+    let via_cluster = client.results_raw(id).expect("results");
+    assert_eq!(via_cluster, direct_result_lines(&sweep));
+    server.shutdown();
+}
+
+#[test]
 fn killed_worker_mid_sweep_retries_the_shard_byte_identically() {
     // Each job stalls 300 ms on the worker, making "mid-sweep" a wide,
     // reliable window for the kill.
